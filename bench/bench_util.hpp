@@ -1,0 +1,62 @@
+// Shared helpers for the per-figure/table bench binaries.
+//
+// Every bench runs with no arguments using scaled-down durations so the full
+// suite finishes in minutes; pass --full to reproduce the paper's 100 s runs
+// (and full trial counts) at the cost of a long wall-clock time.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "runner/scenario.hpp"
+
+namespace cebinae::bench {
+
+struct BenchOptions {
+  bool full = false;
+  std::uint64_t seed = 1;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) opts.full = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) opts.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+  }
+  return opts;
+}
+
+inline double to_mbps(double bytes_per_sec) { return bytes_per_sec * 8.0 / 1e6; }
+
+// Scaled run durations: long enough for convergence behavior to show, short
+// enough that the whole suite stays interactive.
+inline Time duration_for(std::uint64_t bottleneck_bps, bool full) {
+  if (full) return Seconds(100);
+  if (bottleneck_bps >= 10'000'000'000ull) return Seconds(5);
+  if (bottleneck_bps >= 1'000'000'000ull) return Seconds(12);
+  return Seconds(30);
+}
+
+inline const char* qdisc_name(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kFifo:
+      return "FIFO";
+    case QdiscKind::kFqCoDel:
+      return "FQ";
+    case QdiscKind::kCebinae:
+      return "Cebinae";
+    case QdiscKind::kAfq:
+      return "AFQ";
+    case QdiscKind::kStrawman:
+      return "Strawman";
+  }
+  return "?";
+}
+
+inline void print_header(const char* title, const BenchOptions& opts) {
+  std::printf("=== %s (%s run) ===\n", title, opts.full ? "full paper-scale" : "quick");
+}
+
+}  // namespace cebinae::bench

@@ -1,0 +1,90 @@
+// Figure 1: goodput time series of two NewReno flows with RTTs 20.4 ms and
+// 40 ms sharing one bottleneck, under FIFO and under Cebinae, along with
+// Cebinae's port state (unsaturated / which flow is bottlenecked).
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+struct Series {
+  std::vector<double> f0_mbps;  // per-second goodput, flow 0 (RTT 20.4 ms)
+  std::vector<double> f1_mbps;  // flow 1 (RTT 40 ms)
+  std::vector<char> state;      // '-' unsaturated, '0'/'1' top flow, 'B' both
+};
+
+Series run(QdiscKind qdisc, Time duration, std::uint64_t bps) {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = bps;
+  cfg.buffer_bytes = 850ull * kMtuBytes;
+  cfg.qdisc = qdisc;
+  cfg.duration = duration;
+  cfg.flows = {FlowSpec{CcaType::kNewReno, MillisecondsF(20.4)},
+               FlowSpec{CcaType::kNewReno, Milliseconds(40)}};
+  Scenario scenario(cfg);
+
+  Series out;
+  const std::size_t seconds = static_cast<std::size_t>(duration / Seconds(1));
+  out.state.assign(seconds + 1, '-');
+  if (qdisc == QdiscKind::kCebinae) {
+    scenario.add_probe(Seconds(1), [&](Time now) {
+      const auto& snap = scenario.agent(0)->snapshot();
+      char s = '-';
+      if (snap.saturated && !snap.top_flows.empty()) {
+        const bool has0 = std::find(snap.top_flows.begin(), snap.top_flows.end(),
+                                    scenario.flow_ids()[0]) != snap.top_flows.end();
+        const bool has1 = std::find(snap.top_flows.begin(), snap.top_flows.end(),
+                                    scenario.flow_ids()[1]) != snap.top_flows.end();
+        s = has0 && has1 ? 'B' : (has0 ? '0' : (has1 ? '1' : '-'));
+      }
+      const auto idx = static_cast<std::size_t>(now / Seconds(1));
+      if (idx < out.state.size()) out.state[idx] = s;
+    });
+  }
+  scenario.run();
+
+  const auto s0 = scenario.stats().series(scenario.flow_ids()[0]);
+  const auto s1 = scenario.stats().series(scenario.flow_ids()[1]);
+  for (std::size_t s = 0; s < seconds; ++s) {
+    out.f0_mbps.push_back(s < s0.size() ? to_mbps(static_cast<double>(s0[s])) : 0.0);
+    out.f1_mbps.push_back(s < s1.size() ? to_mbps(static_cast<double>(s1[s])) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Figure 1: RTT unfairness time series (2x NewReno, 20.4/40 ms)", opts);
+
+  // 100 Mbps so NewReno's additive increase converges within the plotted
+  // window (see EXPERIMENTS.md on timescale scaling).
+  const std::uint64_t bps = 100'000'000;
+  const Time duration = opts.full ? Seconds(60) : Seconds(30);
+
+  const Series fifo = run(QdiscKind::kFifo, duration, bps);
+  const Series ceb = run(QdiscKind::kCebinae, duration, bps);
+
+  std::printf("%4s  %14s %14s   %14s %14s  %s\n", "t[s]", "FIFO rtt20[Mb]",
+              "FIFO rtt40[Mb]", "Ceb rtt20[Mb]", "Ceb rtt40[Mb]", "Ceb state");
+  for (std::size_t s = 0; s < fifo.f0_mbps.size(); ++s) {
+    std::printf("%4zu  %14.1f %14.1f   %14.1f %14.1f  %c\n", s + 1, fifo.f0_mbps[s],
+                fifo.f1_mbps[s], ceb.f0_mbps[s], ceb.f1_mbps[s], ceb.state[s]);
+  }
+
+  // Summary: ratio between the flows over the second half of the run.
+  auto half_avg = [](const std::vector<double>& v) {
+    double sum = 0;
+    for (std::size_t i = v.size() / 2; i < v.size(); ++i) sum += v[i];
+    return sum / (v.size() - v.size() / 2);
+  };
+  std::printf("\nsteady-state goodput ratio (short/long RTT): FIFO %.2f, Cebinae %.2f\n",
+              half_avg(fifo.f0_mbps) / half_avg(fifo.f1_mbps),
+              half_avg(ceb.f0_mbps) / half_avg(ceb.f1_mbps));
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 7: per-flow goodput for 16 TCP Vegas flows (0-15) competing with
+// one NewReno flow (16) over a 100 Mbps bottleneck, FIFO vs Cebinae.
+// The paper's headline: FIFO lets NewReno take ~80% of the link
+// (JFI ~0.093); Cebinae redistributes it (JFI ~0.98).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "metrics/jfi.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+ScenarioResult run(QdiscKind qdisc, const BenchOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = 100'000'000;
+  cfg.buffer_bytes = 850ull * kMtuBytes;
+  cfg.qdisc = qdisc;
+  cfg.duration = opts.full ? Seconds(100) : Seconds(30);
+  cfg.seed = opts.seed;
+  cfg.flows = flows_of(CcaType::kVegas, 16, Milliseconds(100));
+  cfg.flows.push_back(FlowSpec{CcaType::kNewReno, Milliseconds(100)});
+  return Scenario(cfg).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Figure 7: 16 Vegas vs 1 NewReno over 100 Mbps", opts);
+
+  const ScenarioResult fifo = run(QdiscKind::kFifo, opts);
+  const ScenarioResult ceb = run(QdiscKind::kCebinae, opts);
+
+  std::printf("%-10s %18s %18s\n", "Flow", "FIFO [Mbps]", "Cebinae [Mbps]");
+  for (std::size_t i = 0; i < fifo.goodput_Bps.size(); ++i) {
+    std::printf("%-10s %18.2f %18.2f\n",
+                (i < 16 ? ("Vegas-" + std::to_string(i)) : std::string("NewReno-16")).c_str(),
+                to_mbps(fifo.goodput_Bps[i]), to_mbps(ceb.goodput_Bps[i]));
+  }
+  std::printf("\nJFI:     FIFO %.3f   Cebinae %.3f\n", fifo.jfi, ceb.jfi);
+  std::printf("Goodput: FIFO %.1f Mbps   Cebinae %.1f Mbps\n",
+              to_mbps(fifo.total_goodput_Bps), to_mbps(ceb.total_goodput_Bps));
+  return 0;
+}

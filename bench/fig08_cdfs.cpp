@@ -1,0 +1,80 @@
+// Figure 8: per-flow goodput CDFs.
+//   (a) 128 NewReno vs 2 BBR over 1 Gbps — Cebinae prevents the BBR flows
+//       from claiming an outsized share.
+//   (b) 128 NewReno (64 ms RTT) vs 4 Vegas (100 ms RTT) over 1 Gbps —
+//       Cebinae mitigates Vegas starvation.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+void print_cdf(const char* label, std::vector<double> fifo, std::vector<double> ceb) {
+  std::sort(fifo.begin(), fifo.end());
+  std::sort(ceb.begin(), ceb.end());
+  std::printf("\n--- %s: goodput CDF [Mbps] ---\n", label);
+  std::printf("%8s %14s %14s\n", "CDF", "FIFO", "Cebinae");
+  for (double q : {0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    const auto idx = static_cast<std::size_t>(q * (fifo.size() - 1));
+    std::printf("%8.2f %14.3f %14.3f\n", q, to_mbps(fifo[idx]), to_mbps(ceb[idx]));
+  }
+}
+
+ScenarioResult run(const std::vector<FlowSpec>& flows, QdiscKind qdisc,
+                   const BenchOptions& opts, std::uint64_t buf_mtu) {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = 1'000'000'000;
+  cfg.buffer_bytes = buf_mtu * kMtuBytes;
+  cfg.qdisc = qdisc;
+  cfg.duration = opts.full ? Seconds(100) : Seconds(12);
+  cfg.seed = opts.seed;
+  cfg.flows = flows;
+  return Scenario(cfg).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Figure 8: goodput CDFs, aggressive/starved CCA mixes at 1 Gbps", opts);
+
+  {
+    // (a) 128 NewReno + 2 BBR, equal 100 ms RTTs, 8350 MTU (~1 BDP) buffer
+    // (Table 2's row for this mix).
+    std::vector<FlowSpec> flows = flows_of(CcaType::kNewReno, 128, Milliseconds(100));
+    flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
+    flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
+    const ScenarioResult fifo = run(flows, QdiscKind::kFifo, opts, 8350);
+    const ScenarioResult ceb = run(flows, QdiscKind::kCebinae, opts, 8350);
+    print_cdf("(a) 128 NewReno vs 2 BBR", fifo.goodput_Bps, ceb.goodput_Bps);
+    const double bbr_fifo = fifo.goodput_Bps[128] + fifo.goodput_Bps[129];
+    const double bbr_ceb = ceb.goodput_Bps[128] + ceb.goodput_Bps[129];
+    std::printf("BBR aggregate share: FIFO %.1f%%  Cebinae %.1f%%\n",
+                100.0 * bbr_fifo / fifo.total_goodput_Bps,
+                100.0 * bbr_ceb / ceb.total_goodput_Bps);
+    std::printf("JFI: FIFO %.3f  Cebinae %.3f\n", fifo.jfi, ceb.jfi);
+  }
+
+  {
+    // (b) 128 NewReno @64 ms + 4 Vegas @100 ms.
+    std::vector<FlowSpec> flows = flows_of(CcaType::kNewReno, 128, Milliseconds(64));
+    for (int i = 0; i < 4; ++i) flows.push_back(FlowSpec{CcaType::kVegas, Milliseconds(100)});
+    const ScenarioResult fifo = run(flows, QdiscKind::kFifo, opts, 8500);
+    const ScenarioResult ceb = run(flows, QdiscKind::kCebinae, opts, 8500);
+    print_cdf("(b) 128 NewReno vs 4 Vegas", fifo.goodput_Bps, ceb.goodput_Bps);
+    double vegas_fifo = 0;
+    double vegas_ceb = 0;
+    for (int i = 128; i < 132; ++i) {
+      vegas_fifo += fifo.goodput_Bps[i];
+      vegas_ceb += ceb.goodput_Bps[i];
+    }
+    std::printf("Vegas mean goodput: FIFO %.3f Mbps  Cebinae %.3f Mbps\n",
+                to_mbps(vegas_fifo / 4), to_mbps(vegas_ceb / 4));
+    std::printf("JFI: FIFO %.3f  Cebinae %.3f\n", fifo.jfi, ceb.jfi);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 9: RTT-asymmetry sweep for Cubic. Four Cubic flows at a fixed
+// 256 ms RTT compete with four Cubic flows whose RTT sweeps 16..256 ms over
+// a 400 Mbps bottleneck with a 3 MB buffer; JFI and total goodput for
+// FIFO / FQ / Cebinae.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+ScenarioResult run(int rtt_ms, QdiscKind qdisc, const BenchOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = 400'000'000;
+  cfg.buffer_bytes = 3 * 1024 * 1024;
+  cfg.qdisc = qdisc;
+  // 256 ms RTT flows need tens of seconds to converge even in quick mode.
+  cfg.duration = opts.full ? Seconds(100) : Seconds(40);
+  cfg.seed = opts.seed;
+  cfg.flows = flows_of(CcaType::kCubic, 4, Milliseconds(256));
+  for (const FlowSpec& f : flows_of(CcaType::kCubic, 4, Milliseconds(rtt_ms))) {
+    cfg.flows.push_back(f);
+  }
+  return Scenario(cfg).run();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Figure 9: RTT asymmetry (4+4 Cubic, 400 Mbps, 3 MB buffer)", opts);
+
+  std::printf("%-8s | %8s %8s %8s | %12s %12s %12s\n", "RTT[ms]", "JFI F", "JFI FQ",
+              "JFI Ceb", "Gput F[MBps]", "Gput FQ", "Gput Ceb");
+  for (int rtt : {16, 32, 64, 128, 256}) {
+    const ScenarioResult fifo = run(rtt, QdiscKind::kFifo, opts);
+    const ScenarioResult fq = run(rtt, QdiscKind::kFqCoDel, opts);
+    const ScenarioResult ceb = run(rtt, QdiscKind::kCebinae, opts);
+    std::printf("%-8d | %8.3f %8.3f %8.3f | %12.1f %12.1f %12.1f\n", rtt, fifo.jfi, fq.jfi,
+                ceb.jfi, fifo.total_goodput_Bps / 1e6, fq.total_goodput_Bps / 1e6,
+                ceb.total_goodput_Bps / 1e6);
+    std::fflush(stdout);
+  }
+  std::printf("\n(goodput in MBps, matching the paper's y-axis)\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Figure 11: 'Parking Lot' multi-bottleneck topology. 8 NewReno flows
+// (0-7) traverse all three 100 Mbps links, contending with 2 Bic (8-9) on
+// link 0, 8 Vegas (10-17) on link 1, and 4 Cubic (18-21) on link 2.
+// Reports per-flow goodput against the ideal max-min allocation and the
+// normalized JFI the paper uses (FIFO ~0.85 -> Cebinae ~0.98).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "metrics/jfi.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+ScenarioConfig make_config(QdiscKind qdisc, const BenchOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.chain_links = 3;
+  cfg.bottleneck_bps = 100'000'000;
+  cfg.buffer_bytes = 850ull * kMtuBytes;
+  cfg.qdisc = qdisc;
+  cfg.duration = opts.full ? Seconds(100) : Seconds(30);
+  cfg.seed = opts.seed;
+
+  // 8 NewReno end-to-end (larger RTT: longer path).
+  for (const FlowSpec& f : flows_of(CcaType::kNewReno, 8, Milliseconds(80))) {
+    cfg.flows.push_back(f);
+  }
+  auto local = [&](CcaType cca, int n, int link) {
+    for (FlowSpec f : flows_of(cca, n, Milliseconds(40))) {
+      f.enter = link;
+      f.exit = link + 1;
+      cfg.flows.push_back(f);
+    }
+  };
+  local(CcaType::kBic, 2, 0);
+  local(CcaType::kVegas, 8, 1);
+  local(CcaType::kCubic, 4, 2);
+  return cfg;
+}
+
+const char* flow_label(std::size_t i) {
+  if (i < 8) return "NewReno(e2e)";
+  if (i < 10) return "Bic(l0)";
+  if (i < 18) return "Vegas(l1)";
+  return "Cubic(l2)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Figure 11: Parking Lot (3x100 Mbps): 8 NewReno e2e vs local Bic/Vegas/Cubic",
+               opts);
+
+  Scenario fifo_scenario(make_config(QdiscKind::kFifo, opts));
+  const std::vector<double> ideal = fifo_scenario.ideal_goodputs_Bps();
+  const ScenarioResult fifo = fifo_scenario.run();
+  const ScenarioResult ceb = Scenario(make_config(QdiscKind::kCebinae, opts)).run();
+
+  std::printf("%4s %-14s %12s %12s %12s\n", "Flow", "Type", "Ideal[Mbps]", "FIFO[Mbps]",
+              "Cebinae[Mbps]");
+  for (std::size_t i = 0; i < ideal.size(); ++i) {
+    std::printf("%4zu %-14s %12.2f %12.2f %12.2f\n", i, flow_label(i), to_mbps(ideal[i]),
+                to_mbps(fifo.goodput_Bps[i]), to_mbps(ceb.goodput_Bps[i]));
+  }
+
+  std::printf("\nnormalized JFI (distance to max-min ideal): FIFO %.3f -> Cebinae %.3f\n",
+              normalized_jain_index(fifo.goodput_Bps, ideal),
+              normalized_jain_index(ceb.goodput_Bps, ideal));
+  return 0;
+}

@@ -1,0 +1,141 @@
+// Figure 13: false-positive and false-negative rates of ⊤-flow detection
+// under a synthetic ISP-backbone trace (the documented substitution for the
+// paper's CAIDA traces).
+//   (a) sweep the round interval at 2048 slots/stage;
+//   (b) sweep the slot count at a 100 ms interval;
+// each for 1-, 2-, and 4-stage caches.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "core/flow_cache.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+constexpr double kDeltaF = 0.05;  // classification threshold (1 - delta_f)
+
+struct Rates {
+  double fpr = 0.0;  // x1e-4, as in the paper's y-axis
+  double fnr = 0.0;
+};
+
+Rates evaluate(const std::vector<TracePacket>& trace, std::uint32_t stages,
+               std::uint32_t slots, Time interval) {
+  FlowCache cache(stages, slots);
+  std::unordered_map<FlowId, std::uint64_t, FlowIdHash> truth;
+
+  double fp_sum = 0, fn_sum = 0;
+  std::uint64_t fp_opportunities = 0, fn_opportunities = 0;
+
+  Time boundary = interval;
+  auto settle = [&]() {
+    if (truth.empty()) return;
+    // Ground truth classification.
+    std::uint64_t c_max = 0;
+    for (const auto& [f, b] : truth) c_max = std::max(c_max, b);
+    const double threshold = static_cast<double>(c_max) * (1.0 - kDeltaF);
+    std::unordered_map<FlowId, bool, FlowIdHash> is_top;
+    std::uint64_t true_top = 0;
+    for (const auto& [f, b] : truth) {
+      const bool top = static_cast<double>(b) >= threshold;
+      is_top[f] = top;
+      if (top) ++true_top;
+    }
+
+    // Cache-based classification.
+    const auto entries = cache.poll_and_reset();
+    std::uint64_t cache_max = 0;
+    for (const auto& e : entries) cache_max = std::max(cache_max, e.bytes);
+    const double cache_thresh = static_cast<double>(cache_max) * (1.0 - kDeltaF);
+    std::uint64_t fp = 0;
+    std::unordered_map<FlowId, bool, FlowIdHash> detected;
+    for (const auto& e : entries) {
+      if (static_cast<double>(e.bytes) >= cache_thresh) {
+        detected[e.flow] = true;
+        if (!is_top[e.flow]) ++fp;
+      }
+    }
+    std::uint64_t fn = 0;
+    for (const auto& [f, top] : is_top) {
+      if (top && detected.find(f) == detected.end()) ++fn;
+    }
+
+    fp_sum += fp;
+    fp_opportunities += truth.size() - true_top;
+    fn_sum += fn;
+    fn_opportunities += true_top;
+    truth.clear();
+  };
+
+  for (const TracePacket& pkt : trace) {
+    while (pkt.time >= boundary) {
+      settle();
+      boundary += interval;
+    }
+    truth[pkt.flow] += pkt.bytes;
+    cache.add(pkt.flow, pkt.bytes);
+  }
+  settle();
+
+  Rates r;
+  if (fp_opportunities > 0) r.fpr = fp_sum / static_cast<double>(fp_opportunities);
+  if (fn_opportunities > 0) r.fnr = fn_sum / static_cast<double>(fn_opportunities);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Figure 13: flow-cache FPR/FNR on synthetic backbone traces", opts);
+
+  const int trials = opts.full ? 20 : 3;
+  TraceConfig tc;
+  tc.duration = opts.full ? Seconds(5) : Seconds(2);
+
+  std::vector<std::vector<TracePacket>> traces;
+  for (int t = 0; t < trials; ++t) {
+    tc.seed = opts.seed + static_cast<std::uint64_t>(t) * 7919;
+    traces.push_back(SyntheticTrace::generate(tc));
+  }
+  const TraceSummary summary = SyntheticTrace::summarize(traces[0]);
+  std::printf("trace: %llu packets, %llu flows, %.1f Gbps avg over %.1f s x %d trials\n\n",
+              (unsigned long long)summary.packets, (unsigned long long)summary.flows,
+              static_cast<double>(summary.bytes) * 8 / tc.duration.seconds() / 1e9,
+              tc.duration.seconds(), trials);
+
+  auto sweep = [&](std::uint32_t stages, std::uint32_t slots, Time interval) {
+    Rates avg;
+    for (const auto& trace : traces) {
+      const Rates r = evaluate(trace, stages, slots, interval);
+      avg.fpr += r.fpr / trials;
+      avg.fnr += r.fnr / trials;
+    }
+    return avg;
+  };
+
+  std::printf("--- (a) varying round interval, 2048 slots/stage ---\n");
+  std::printf("%-14s %10s %14s %10s\n", "interval[ms]", "stages", "FPR[x1e-4]", "FNR");
+  for (int ms : {10, 20, 40, 60, 80, 100}) {
+    for (std::uint32_t stages : {1u, 2u, 4u}) {
+      const Rates r = sweep(stages, 2048, Milliseconds(ms));
+      std::printf("%-14d %10u %14.3f %10.3f\n", ms, stages, r.fpr * 1e4, r.fnr);
+    }
+    std::fflush(stdout);
+  }
+
+  std::printf("\n--- (b) varying slot count, 100 ms interval ---\n");
+  std::printf("%-10s %10s %14s %10s\n", "slots", "stages", "FPR[x1e-4]", "FNR");
+  for (std::uint32_t slots : {512u, 1024u, 2048u, 4096u}) {
+    for (std::uint32_t stages : {1u, 2u, 4u}) {
+      const Rates r = sweep(stages, slots, Milliseconds(100));
+      std::printf("%-10u %10u %14.3f %10.3f\n", slots, stages, r.fpr * 1e4, r.fnr);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Microbenchmarks of the data-path building blocks, backing the scalability
+// discussion (§5.5): the per-packet cost of Cebinae's components is flat in
+// the number of flows, unlike per-flow-queue schemes.
+#include <benchmark/benchmark.h>
+
+#include "core/flow_cache.hpp"
+#include "core/lbf.hpp"
+#include "metrics/jfi.hpp"
+#include "queueing/fifo_queue.hpp"
+#include "queueing/fq_codel.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace {
+
+using namespace cebinae;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Scheduler sched;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      sched.schedule(Nanoseconds(i * 100), [&sink] { ++sink; });
+    }
+    sched.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_FlowCacheAdd(benchmark::State& state) {
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  FlowCache cache(2, 2048);
+  RandomStream rng(1);
+  std::vector<FlowId> ids;
+  for (std::uint32_t i = 0; i < flows; ++i) {
+    ids.push_back(FlowId{i, i + 1'000'000, 5000, 5000});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.add(ids[i % flows], kMtuBytes));
+    if (++i % 100'000 == 0) (void)cache.poll_and_reset();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowCacheAdd)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_FlowCachePollAndReset(benchmark::State& state) {
+  FlowCache cache(2, 2048);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::uint32_t i = 0; i < 4096; ++i) {
+      cache.add(FlowId{i, i + 1'000'000, 5000, 5000}, kMtuBytes);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(cache.poll_and_reset());
+  }
+}
+BENCHMARK(BM_FlowCachePollAndReset);
+
+void BM_LbfAdmit(benchmark::State& state) {
+  CebinaeParams params;
+  params.dt = Nanoseconds(1 << 20);
+  params.vdt = Nanoseconds(1 << 10);
+  LeakyBucketFilter lbf(params, 10'000'000'000ull);
+  lbf.enter_saturated(6e8, 6.5e8);
+  std::int64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        lbf.admit(FlowGroup::kBottom, kMtuBytes, Time(now)));
+    now += 1200;
+    if (now % (1 << 20) < 1200) lbf.rotate(Time(now));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LbfAdmit);
+
+void BM_FifoEnqueueDequeue(benchmark::State& state) {
+  FifoQueue q(FifoQueue::unlimited());
+  Packet p;
+  p.size_bytes = kMtuBytes;
+  for (auto _ : state) {
+    q.enqueue(p);
+    benchmark::DoNotOptimize(q.dequeue());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoEnqueueDequeue);
+
+void BM_FqCoDelEnqueueDequeue(benchmark::State& state) {
+  // Per-packet cost grows with the number of active flow queues — the
+  // scaling contrast with Cebinae's two queues.
+  const auto flows = static_cast<std::uint32_t>(state.range(0));
+  Scheduler sched;
+  FqCoDelParams params;
+  FqCoDel q(sched, params);
+  std::uint32_t i = 0;
+  for (auto _ : state) {
+    Packet p;
+    p.flow = FlowId{i % flows, 1, 5000, 5000};
+    p.size_bytes = kMtuBytes;
+    q.enqueue(std::move(p));
+    benchmark::DoNotOptimize(q.dequeue());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FqCoDelEnqueueDequeue)->Arg(16)->Arg(1024)->Arg(65536);
+
+void BM_JainIndex(benchmark::State& state) {
+  RandomStream rng(1);
+  std::vector<double> rates;
+  for (int i = 0; i < 1024; ++i) rates.push_back(rng.uniform(1, 100));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(jain_index(rates));
+  }
+}
+BENCHMARK(BM_JainIndex);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,127 @@
+// Table 2: throughput, goodput, and JFI for 25 network configurations
+// (bandwidth x RTT x buffer x CCA mix), each under FIFO, ideal FQ (FQ-CoDel
+// with per-flow queues), and Cebinae.
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+
+using namespace cebinae;
+using namespace cebinae::bench;
+
+namespace {
+
+struct CcaGroup {
+  CcaType cca;
+  int count;
+};
+
+struct Row {
+  std::uint64_t bps;
+  std::vector<double> rtts_ms;  // one per group, or a single shared value
+  std::uint64_t buf_mtu;
+  std::vector<CcaGroup> groups;
+};
+
+// The 25 configurations of Table 2, in paper order.
+const std::vector<Row> kRows = {
+    {100'000'000, {20.8, 28}, 250, {{CcaType::kNewReno, 2}, {CcaType::kNewReno, 8}}},
+    {100'000'000, {20.4, 40}, 350, {{CcaType::kCubic, 8}, {CcaType::kCubic, 2}}},
+    {100'000'000, {20.4, 60}, 500, {{CcaType::kVegas, 2}, {CcaType::kVegas, 8}}},
+    {100'000'000, {200}, 1700, {{CcaType::kNewReno, 16}, {CcaType::kCubic, 1}}},
+    {100'000'000, {100}, 850, {{CcaType::kNewReno, 16}, {CcaType::kCubic, 1}}},
+    {100'000'000, {50}, 420, {{CcaType::kNewReno, 16}, {CcaType::kCubic, 1}}},
+    {100'000'000, {50}, 420, {{CcaType::kVegas, 16}, {CcaType::kCubic, 1}}},
+    {100'000'000, {100}, 850, {{CcaType::kVegas, 16}, {CcaType::kNewReno, 1}}},
+    {100'000'000, {100}, 850, {{CcaType::kVegas, 128}, {CcaType::kNewReno, 1}}},
+    {100'000'000, {60}, 500,
+     {{CcaType::kVegas, 8}, {CcaType::kNewReno, 8}, {CcaType::kCubic, 2}}},
+    {1'000'000'000, {5}, 420, {{CcaType::kNewReno, 32}, {CcaType::kCubic, 8}}},
+    {1'000'000'000, {10}, 850, {{CcaType::kVegas, 128}, {CcaType::kCubic, 1}}},
+    {1'000'000'000, {10}, 850, {{CcaType::kVegas, 1024}, {CcaType::kCubic, 2}}},
+    {1'000'000'000, {50}, 4200, {{CcaType::kNewReno, 128}, {CcaType::kBbr, 1}}},
+    {1'000'000'000, {50}, 4200, {{CcaType::kNewReno, 128}, {CcaType::kBbr, 2}}},
+    {1'000'000'000, {50}, 21000, {{CcaType::kNewReno, 128}, {CcaType::kBbr, 2}}},
+    {1'000'000'000, {100}, 8350, {{CcaType::kNewReno, 128}, {CcaType::kBbr, 2}}},
+    {1'000'000'000, {10}, 850, {{CcaType::kVegas, 64}, {CcaType::kNewReno, 1}}},
+    {1'000'000'000, {100}, 8500, {{CcaType::kVegas, 4}, {CcaType::kNewReno, 128}}},
+    {1'000'000'000, {100, 64}, 8500, {{CcaType::kVegas, 4}, {CcaType::kNewReno, 128}}},
+    {1'000'000'000, {100}, 8500, {{CcaType::kVegas, 8}, {CcaType::kNewReno, 128}}},
+    {1'000'000'000, {10}, 850, {{CcaType::kVegas, 128}, {CcaType::kBbr, 1}}},
+    {1'000'000'000, {100}, 8500, {{CcaType::kBic, 2}, {CcaType::kCubic, 32}}},
+    {10'000'000'000, {50, 44}, 41667, {{CcaType::kNewReno, 128}, {CcaType::kCubic, 16}}},
+    {10'000'000'000, {28, 28}, 25000, {{CcaType::kNewReno, 128}, {CcaType::kCubic, 128}}},
+};
+
+std::string describe(const Row& row) {
+  std::string s = "{";
+  for (std::size_t g = 0; g < row.groups.size(); ++g) {
+    if (g) s += ", ";
+    s += std::string(to_string(row.groups[g].cca)) + ":" +
+         std::to_string(row.groups[g].count);
+  }
+  s += "}";
+  return s;
+}
+
+struct Metrics {
+  double throughput_mbps;
+  double goodput_mbps;
+  double jfi;
+};
+
+Metrics run_row(const Row& row, QdiscKind qdisc, const BenchOptions& opts) {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = row.bps;
+  cfg.buffer_bytes = row.buf_mtu * kMtuBytes;
+  cfg.qdisc = qdisc;
+  cfg.duration = duration_for(row.bps, opts.full);
+  cfg.seed = opts.seed;
+  for (std::size_t g = 0; g < row.groups.size(); ++g) {
+    const double rtt_ms =
+        row.rtts_ms.size() == 1 ? row.rtts_ms[0] : row.rtts_ms[g % row.rtts_ms.size()];
+    for (int i = 0; i < row.groups[g].count; ++i) {
+      FlowSpec f;
+      f.cca = row.groups[g].cca;
+      f.rtt = MillisecondsF(rtt_ms);
+      cfg.flows.push_back(f);
+    }
+  }
+  ScenarioResult r = Scenario(cfg).run();
+  return Metrics{to_mbps(r.throughput_Bps[0]), to_mbps(r.total_goodput_Bps), r.jfi};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOptions opts = parse_options(argc, argv);
+  print_header("Table 2: CCA/RTT/bandwidth sweep", opts);
+
+  std::printf("%-9s %-14s %-7s %-28s | %-26s | %-26s | %-20s\n", "Btl.BW", "RTTs[ms]",
+              "Buf", "CCAs", "Throughput[Mbps] F/FQ/Ceb", "Goodput[Mbps] F/FQ/Ceb",
+              "JFI FIFO/FQ/Ceb");
+  for (const Row& row : kRows) {
+    const Metrics fifo = run_row(row, QdiscKind::kFifo, opts);
+    const Metrics fq = run_row(row, QdiscKind::kFqCoDel, opts);
+    const Metrics ceb = run_row(row, QdiscKind::kCebinae, opts);
+
+    std::string rtts = "{";
+    for (std::size_t i = 0; i < row.rtts_ms.size(); ++i) {
+      if (i) rtts += ",";
+      rtts += std::to_string(row.rtts_ms[i]).substr(0, 4);
+    }
+    rtts += "}";
+
+    std::printf(
+        "%-9s %-14s %-7llu %-28s | %8.1f %8.1f %8.1f | %8.1f %8.1f %8.1f | %6.3f %6.3f "
+        "%6.3f\n",
+        row.bps >= 10'000'000'000ull ? "10 Gbps"
+        : row.bps >= 1'000'000'000ull ? "1 Gbps"
+                                      : "100 Mbps",
+        rtts.c_str(), static_cast<unsigned long long>(row.buf_mtu), describe(row).c_str(),
+        fifo.throughput_mbps, fq.throughput_mbps, ceb.throughput_mbps, fifo.goodput_mbps,
+        fq.goodput_mbps, ceb.goodput_mbps, fifo.jfi, fq.jfi, ceb.jfi);
+    std::fflush(stdout);
+  }
+  return 0;
+}

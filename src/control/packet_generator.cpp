@@ -1,0 +1,27 @@
+#include "control/packet_generator.hpp"
+
+namespace cebinae {
+
+void PacketGenerator::start(Time first_delay) {
+  if (running_) return;
+  running_ = true;
+  pending_ = sched_.schedule(first_delay, [this] { fire(); });
+}
+
+void PacketGenerator::stop() {
+  if (!running_) return;
+  running_ = false;
+  sched_.cancel(pending_);
+  pending_ = EventId();
+}
+
+void PacketGenerator::fire() {
+  if (!running_) return;
+  ++fired_;
+  // Schedule the next tick before running the callback so a slow callback
+  // cannot skew the period (the hardware generator never drifts).
+  pending_ = sched_.schedule(period_, [this] { fire(); });
+  on_fire_();
+}
+
+}  // namespace cebinae

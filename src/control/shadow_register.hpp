@@ -1,0 +1,48 @@
+// Mantis-style shadow register array (Yu et al. 2020).
+//
+// The paper's control plane reads data-plane registers through shadow copies
+// so that a multi-register poll observes a consistent snapshot even while the
+// data plane keeps writing (two-phase reads), and stages writes that commit
+// atomically (two-phase writes). The simulator is single-threaded, so the
+// value here is behavioral fidelity: the agent acts on the snapshot taken at
+// poll time, not on values that changed while it "computed".
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cebinae {
+
+template <typename T>
+class ShadowRegisterArray {
+ public:
+  explicit ShadowRegisterArray(std::size_t size) : live_(size), shadow_(size) {}
+
+  // Data-plane access (hot path).
+  T& at(std::size_t i) { return live_[i]; }
+  const T& at(std::size_t i) const { return live_[i]; }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  // Control-plane phase 1: capture a consistent snapshot of all registers.
+  void snapshot() { shadow_ = live_; }
+
+  // Control-plane reads against the snapshot.
+  [[nodiscard]] const T& shadow_at(std::size_t i) const { return shadow_[i]; }
+  [[nodiscard]] const std::vector<T>& shadow() const { return shadow_; }
+
+  // Control-plane phase 2: stage writes, then commit them all at once.
+  void stage_write(std::size_t i, T value) { staged_.emplace_back(i, std::move(value)); }
+  void commit() {
+    for (auto& [i, v] : staged_) live_[i] = std::move(v);
+    staged_.clear();
+  }
+  void abort() { staged_.clear(); }
+  [[nodiscard]] std::size_t staged_count() const { return staged_.size(); }
+
+ private:
+  std::vector<T> live_;
+  std::vector<T> shadow_;
+  std::vector<std::pair<std::size_t, T>> staged_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,68 @@
+// Cebinae's control-plane agent (the paper's Fig. 4 pseudocode on the
+// Fig. 6 timeline).
+//
+// Every dT the data plane rotates queue priorities (driven by the packet
+// generator). Every P rotations the agent samples the port's shadow byte
+// counter, polls-and-resets the heavy-hitter cache, classifies ⊤ flows
+// (within δf of the maximum), and computes taxed rate allocations; all
+// changes commit at t0 + vdT + L — the window in which the drained queue is
+// guaranteed empty, so membership moves cannot reorder packets.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "control/packet_generator.hpp"
+#include "core/cebinae_queue_disc.hpp"
+#include "core/params.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cebinae {
+
+class CebinaeAgent {
+ public:
+  CebinaeAgent(Scheduler& sched, CebinaeQueueDisc& qdisc);
+
+  // Begin the rotation/recomputation loop; the first ROTATE fires one dT
+  // from now (bootstrapping the LBF's time origin).
+  void start();
+
+  struct Snapshot {
+    bool saturated = false;
+    double utilization = 0.0;
+    double top_rate_Bps = 0.0;
+    double bottom_rate_Bps = 0.0;
+    std::vector<FlowId> top_flows;
+  };
+  [[nodiscard]] const Snapshot& snapshot() const { return snapshot_; }
+
+  [[nodiscard]] std::uint64_t rotations() const { return rotations_; }
+  [[nodiscard]] std::uint64_t recomputations() const { return recomputations_; }
+  [[nodiscard]] std::uint64_t phase_changes() const { return phase_changes_; }
+
+ private:
+  void on_rotate();
+  void recompute();
+
+  Scheduler& sched_;
+  CebinaeQueueDisc& qdisc_;
+  CebinaeParams params_;
+  double capacity_Bps_;
+  PacketGenerator rotate_gen_;  // models the hardware ROTATE packet source
+
+  std::uint64_t rotations_ = 0;
+  std::uint64_t recomputations_ = 0;
+  std::uint64_t phase_changes_ = 0;
+
+  // Targets computed by the last recomputation, applied to each queue as it
+  // becomes available.
+  bool target_saturated_ = false;
+  double target_top_rate_ = 0.0;
+  double target_bottom_rate_ = 0.0;
+  std::unordered_set<FlowId, FlowIdHash> target_top_flows_;
+
+  Snapshot snapshot_;
+};
+
+}  // namespace cebinae

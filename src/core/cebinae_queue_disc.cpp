@@ -1,0 +1,77 @@
+#include "core/cebinae_queue_disc.hpp"
+
+#include <utility>
+
+namespace cebinae {
+
+CebinaeQueueDisc::CebinaeQueueDisc(Scheduler& sched, std::uint64_t capacity_bps,
+                                   std::uint64_t buffer_bytes, CebinaeParams params)
+    : sched_(sched),
+      capacity_bps_(capacity_bps),
+      buffer_bytes_(buffer_bytes),
+      params_(params),
+      lbf_(params, capacity_bps),
+      cache_(params.cache_stages, params.cache_slots),
+      port_(capacity_bps, params.delta_port) {}
+
+bool CebinaeQueueDisc::enqueue(Packet pkt) {
+  // Shared physical buffer: the LBF's guarantees assume the whole buffer is
+  // available to whichever queue needs it (paper §4.4).
+  if (byte_count() + pkt.size_bytes > buffer_bytes_) {
+    ++buffer_dropped_packets_;
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+
+  const FlowGroup group = is_top(pkt.flow) ? FlowGroup::kTop : FlowGroup::kBottom;
+  const LeakyBucketFilter::Decision d = lbf_.admit(group, pkt.size_bytes, sched_.now());
+
+  switch (d.queue) {
+    case LeakyBucketFilter::Queue::kDrop:
+      ++lbf_dropped_packets_;
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += pkt.size_bytes;
+      return false;
+    case LeakyBucketFilter::Queue::kTail:
+      ++delayed_packets_;
+      if (d.mark_ecn && pkt.ect) {
+        pkt.ce = true;
+        ++stats_.ecn_marked_packets;
+      }
+      break;
+    case LeakyBucketFilter::Queue::kHead:
+      break;
+  }
+
+  const int q = d.queue == LeakyBucketFilter::Queue::kHead ? lbf_.head_index()
+                                                           : 1 - lbf_.head_index();
+  qbytes_[q] += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  q_[q].push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> CebinaeQueueDisc::dequeue() {
+  const int head = lbf_.head_index();
+  for (int q : {head, 1 - head}) {
+    if (q_[q].empty()) continue;
+    Packet pkt = std::move(q_[q].front());
+    q_[q].pop_front();
+    qbytes_[q] -= pkt.size_bytes;
+
+    // Egress pipeline: per-port byte counter and heavy-hitter cache see
+    // transmitted traffic only.
+    port_.on_transmit(pkt.size_bytes);
+    cache_.add(pkt.flow, pkt.size_bytes);
+
+    ++stats_.dequeued_packets;
+    stats_.dequeued_bytes += pkt.size_bytes;
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+void CebinaeQueueDisc::rotate() { lbf_.rotate(sched_.now()); }
+
+}  // namespace cebinae

@@ -1,0 +1,18 @@
+#include "core/port_saturation.hpp"
+
+namespace cebinae {
+
+bool PortSaturationDetector::sample(Time interval) {
+  counter_.snapshot();
+  const std::uint64_t current = counter_.shadow_at(0);
+  const std::uint64_t delta = current - last_sample_;
+  last_sample_ = current;
+
+  const double capacity_bytes =
+      static_cast<double>(capacity_bps_) / 8.0 * interval.seconds();
+  last_utilization_ = capacity_bytes > 0 ? static_cast<double>(delta) / capacity_bytes : 0.0;
+  saturated_ = last_utilization_ >= 1.0 - delta_port_;
+  return saturated_;
+}
+
+}  // namespace cebinae

@@ -1,0 +1,41 @@
+// Port saturation detector (paper §4.1).
+//
+// The data plane maintains a monotonically increasing per-port transmit byte
+// counter (here behind a Mantis-style shadow register); the control plane
+// samples it every recomputation interval without resetting it and compares
+// the observed delta against (1 - δp) · capacity · interval.
+#pragma once
+
+#include <cstdint>
+
+#include "control/shadow_register.hpp"
+#include "sim/time.hpp"
+
+namespace cebinae {
+
+class PortSaturationDetector {
+ public:
+  PortSaturationDetector(std::uint64_t capacity_bps, double delta_port)
+      : capacity_bps_(capacity_bps), delta_port_(delta_port), counter_(1) {}
+
+  // Data-plane hot path: account transmitted bytes.
+  void on_transmit(std::uint64_t bytes) { counter_.at(0) += bytes; }
+
+  // Control-plane sampling: snapshot the counter, diff against the previous
+  // sample, and report saturation over the elapsed interval.
+  bool sample(Time interval);
+
+  [[nodiscard]] bool saturated() const { return saturated_; }
+  [[nodiscard]] double last_utilization() const { return last_utilization_; }
+  [[nodiscard]] std::uint64_t tx_bytes() const { return counter_.at(0); }
+
+ private:
+  std::uint64_t capacity_bps_;
+  double delta_port_;
+  ShadowRegisterArray<std::uint64_t> counter_;
+  std::uint64_t last_sample_ = 0;
+  double last_utilization_ = 0.0;
+  bool saturated_ = false;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,45 @@
+// Analytic Tofino resource-usage model (substitution for Table 3).
+//
+// The paper reports the P4 compiler's resource usage for Cebinae's data
+// plane on a 32-port Tofino. We do not have the Tofino toolchain, so this
+// model expresses each resource as a calibrated affine function of the flow
+// cache's stage count; the two configurations from the paper reproduce
+// Table 3 exactly, and other configurations extrapolate along the same cost
+// structure (each extra cache stage adds one register array, its hash
+// computation, and its match logic).
+#pragma once
+
+#include <cstdint>
+
+namespace cebinae {
+
+struct TofinoResources {
+  std::uint32_t cache_stages = 0;
+  std::uint32_t pipeline_stages = 0;  // MAU stages occupied
+  std::uint32_t phv_bits = 0;
+  std::uint32_t sram_kb = 0;
+  std::uint32_t tcam_kb = 0;
+  std::uint32_t vliw_instructions = 0;
+  std::uint32_t queues = 0;
+
+  // Fractions of a 32-port Tofino pipe's budget (approximate public specs).
+  [[nodiscard]] double phv_fraction() const;
+  [[nodiscard]] double sram_fraction() const;
+  [[nodiscard]] double tcam_fraction() const;
+};
+
+class TofinoResourceModel {
+ public:
+  // `ports`: switch port count; `slots`: cache slots per port per stage.
+  // Table 3 uses 32 ports and 4096 slots.
+  explicit TofinoResourceModel(std::uint32_t ports = 32, std::uint32_t slots_per_port = 4096)
+      : ports_(ports), slots_per_port_(slots_per_port) {}
+
+  [[nodiscard]] TofinoResources estimate(std::uint32_t cache_stages) const;
+
+ private:
+  std::uint32_t ports_;
+  std::uint32_t slots_per_port_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,56 @@
+// Per-flow goodput accounting with bucketed time series.
+//
+// Receivers report in-order application deliveries here; benches and
+// examples read back total and windowed goodputs and per-bucket series
+// (for the paper's time-series figures).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace cebinae {
+
+class FlowStatsCollector {
+ public:
+  explicit FlowStatsCollector(Time bucket_width = Seconds(1)) : bucket_width_(bucket_width) {}
+
+  // Fix a flow's position in the output ordering (call in scenario order).
+  void register_flow(const FlowId& flow);
+
+  // Matches TcpReceiver::DeliveryCallback.
+  void on_delivery(const FlowId& flow, std::uint64_t bytes, Time now);
+
+  [[nodiscard]] std::size_t flow_count() const { return order_.size(); }
+  [[nodiscard]] const std::vector<FlowId>& flows() const { return order_; }
+
+  [[nodiscard]] std::uint64_t total_bytes(const FlowId& flow) const;
+
+  // Average goodput in bytes/second over [from, to], measured from bucketed
+  // deliveries (partial edge buckets are included wholly; choose window
+  // boundaries on bucket edges for exact results).
+  [[nodiscard]] double goodput_Bps(const FlowId& flow, Time from, Time to) const;
+
+  // All registered flows, in registration order.
+  [[nodiscard]] std::vector<double> goodputs_Bps(Time from, Time to) const;
+
+  // Bytes delivered in bucket `i` (bucket i covers [i*w, (i+1)*w)).
+  [[nodiscard]] std::vector<std::uint64_t> series(const FlowId& flow) const;
+
+  [[nodiscard]] Time bucket_width() const { return bucket_width_; }
+
+ private:
+  struct Record {
+    std::uint64_t total = 0;
+    std::vector<std::uint64_t> buckets;
+  };
+
+  Time bucket_width_;
+  std::vector<FlowId> order_;
+  std::unordered_map<FlowId, Record, FlowIdHash> records_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,39 @@
+// Jain's Fairness Index (Jain, Chiu, Hawe 1984) and the normalized variant
+// the paper uses for multi-bottleneck scenarios (Fig. 11), where each rate is
+// first divided by its ideal max-min allocation.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace cebinae {
+
+// JFI = (Σx)^2 / (n·Σx^2); 1.0 is perfectly fair, 1/n is maximally unfair.
+[[nodiscard]] inline double jain_index(std::span<const double> x) {
+  if (x.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double v : x) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(x.size()) * sum_sq);
+}
+
+// JFI over x_i = actual_i / ideal_i (the paper's distance-to-max-min metric).
+[[nodiscard]] inline double normalized_jain_index(std::span<const double> actual,
+                                                  std::span<const double> ideal) {
+  if (actual.size() != ideal.size() || actual.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double x = ideal[i] > 0 ? actual[i] / ideal[i] : 0.0;
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(actual.size()) * sum_sq);
+}
+
+}  // namespace cebinae

@@ -1,0 +1,85 @@
+#include "metrics/maxmin.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cebinae {
+
+std::vector<double> maxmin_rates(const MaxMinProblem& problem) {
+  const std::size_t num_flows = problem.flow_links.size();
+  const std::size_t num_links = problem.link_capacity.size();
+  std::vector<double> rate(num_flows, 0.0);
+  std::vector<bool> frozen(num_flows, false);
+  std::vector<double> used(num_links, 0.0);
+
+  constexpr double kEps = 1e-9;
+  std::size_t active = num_flows;
+
+  while (active > 0) {
+    // Count active flows per link.
+    std::vector<std::size_t> active_on_link(num_links, 0);
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      for (std::size_t l : problem.flow_links[f]) {
+        assert(l < num_links);
+        ++active_on_link[l];
+      }
+    }
+
+    // Largest uniform increment every active flow can take.
+    double inc = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < num_links; ++l) {
+      if (active_on_link[l] == 0) continue;
+      inc = std::min(inc, (problem.link_capacity[l] - used[l]) /
+                              static_cast<double>(active_on_link[l]));
+    }
+    if (!problem.demand.empty()) {
+      for (std::size_t f = 0; f < num_flows; ++f) {
+        if (!frozen[f]) inc = std::min(inc, problem.demand[f] - rate[f]);
+      }
+    }
+    if (inc == std::numeric_limits<double>::infinity()) {
+      // Flows that traverse no links have unbounded rates; freeze them at 0
+      // increments beyond demand (treat as satisfied).
+      break;
+    }
+    inc = std::max(inc, 0.0);
+
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      rate[f] += inc;
+      for (std::size_t l : problem.flow_links[f]) used[l] += inc;
+    }
+
+    // Freeze flows on saturated links and flows whose demand is met.
+    for (std::size_t f = 0; f < num_flows; ++f) {
+      if (frozen[f]) continue;
+      bool freeze = false;
+      for (std::size_t l : problem.flow_links[f]) {
+        if (used[l] >= problem.link_capacity[l] - kEps) {
+          freeze = true;
+          break;
+        }
+      }
+      if (!problem.demand.empty() && rate[f] >= problem.demand[f] - kEps) freeze = true;
+      if (problem.flow_links[f].empty() && inc == 0.0) freeze = true;
+      if (freeze) {
+        frozen[f] = true;
+        --active;
+      }
+    }
+
+    if (inc <= kEps) {
+      // No progress possible (all remaining links saturated): freeze rest.
+      for (std::size_t f = 0; f < num_flows; ++f) {
+        if (!frozen[f]) {
+          frozen[f] = true;
+          --active;
+        }
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace cebinae

@@ -1,0 +1,51 @@
+#include "net/device.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "net/node.hpp"
+
+namespace cebinae {
+
+Device::Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_delay,
+               std::unique_ptr<QueueDisc> qdisc)
+    : sched_(sched),
+      owner_(owner),
+      rate_bps_(rate_bps),
+      prop_delay_(prop_delay),
+      qdisc_(std::move(qdisc)) {
+  assert(rate_bps_ > 0);
+  assert(qdisc_ != nullptr);
+}
+
+Node& Device::peer_node() {
+  assert(peer_ != nullptr);
+  return peer_->owner();
+}
+
+void Device::send(Packet pkt) {
+  qdisc_->enqueue(std::move(pkt));
+  try_transmit();
+}
+
+void Device::try_transmit() {
+  if (busy_) return;
+  std::optional<Packet> pkt = qdisc_->dequeue();
+  if (!pkt) return;
+
+  busy_ = true;
+  const Time tx_time = serialization_delay(pkt->size_bytes);
+  tx_bytes_ += pkt->size_bytes;
+  ++tx_packets_;
+
+  sched_.schedule(tx_time, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+  assert(peer_ != nullptr && "device transmitted before the link was connected");
+  sched_.schedule(tx_time + prop_delay_, [peer = peer_, p = std::move(*pkt)]() mutable {
+    peer->owner().receive(std::move(p));
+  });
+}
+
+}  // namespace cebinae

@@ -1,0 +1,63 @@
+// Point-to-point network device: one half of a full-duplex link.
+//
+// A device owns the egress queue disc for its direction. Transmission
+// serializes packets at the link rate; propagation adds a fixed delay before
+// the peer's node receives the frame.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/packet.hpp"
+#include "queueing/queue_disc.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cebinae {
+
+class Node;
+
+class Device {
+ public:
+  Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_delay,
+         std::unique_ptr<QueueDisc> qdisc);
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  void set_peer(Device& peer) { peer_ = &peer; }
+
+  // Enqueue a packet for transmission; starts the transmitter if idle.
+  void send(Packet pkt);
+
+  [[nodiscard]] QueueDisc& qdisc() { return *qdisc_; }
+  [[nodiscard]] const QueueDisc& qdisc() const { return *qdisc_; }
+  [[nodiscard]] std::uint64_t rate_bps() const { return rate_bps_; }
+  [[nodiscard]] Time prop_delay() const { return prop_delay_; }
+  [[nodiscard]] Node& owner() { return owner_; }
+  [[nodiscard]] Node& peer_node();
+
+  // Total bytes fully serialized onto the wire (the paper's per-port egress
+  // transmit counter).
+  [[nodiscard]] std::uint64_t tx_bytes() const { return tx_bytes_; }
+  [[nodiscard]] std::uint64_t tx_packets() const { return tx_packets_; }
+
+  [[nodiscard]] Time serialization_delay(std::uint32_t bytes) const {
+    return Time(static_cast<std::int64_t>(bytes) * 8 * 1'000'000'000 /
+                static_cast<std::int64_t>(rate_bps_));
+  }
+
+ private:
+  void try_transmit();
+
+  Scheduler& sched_;
+  Node& owner_;
+  std::uint64_t rate_bps_;
+  Time prop_delay_;
+  std::unique_ptr<QueueDisc> qdisc_;
+  Device* peer_ = nullptr;
+  bool busy_ = false;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t tx_packets_ = 0;
+};
+
+}  // namespace cebinae

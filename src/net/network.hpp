@@ -1,0 +1,54 @@
+// Root object of a simulation: owns the scheduler, RNG, and topology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "sim/random.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cebinae {
+
+class Network {
+ public:
+  explicit Network(std::uint64_t seed = 1) : rng_(seed) {}
+
+  [[nodiscard]] Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] RandomStream& rng() { return rng_; }
+
+  Node& add_node();
+  [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+
+  struct LinkDevices {
+    Device& ab;  // egress of a toward b
+    Device& ba;  // egress of b toward a
+  };
+
+  // Create a full-duplex link between `a` and `b`. Each direction gets its
+  // own queue disc; either may be nullptr to get an effectively unlimited
+  // FIFO (used for uncongested reverse paths).
+  LinkDevices link(Node& a, Node& b, std::uint64_t rate_bps, Time delay,
+                   std::unique_ptr<QueueDisc> q_ab, std::unique_ptr<QueueDisc> q_ba);
+
+  // Populate every node's routing table with shortest-path (hop count)
+  // first-hop devices via per-destination BFS. Call after topology is built.
+  void build_routes();
+
+ private:
+  struct Edge {
+    NodeId a;
+    NodeId b;
+    Device* ab;
+    Device* ba;
+  };
+
+  Scheduler sched_;
+  RandomStream rng_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace cebinae

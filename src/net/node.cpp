@@ -1,0 +1,51 @@
+#include "net/node.hpp"
+
+#include <cassert>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace cebinae {
+
+Device& Node::add_device(std::unique_ptr<Device> dev) {
+  devices_.push_back(std::move(dev));
+  return *devices_.back();
+}
+
+Device* Node::route_to(NodeId dst) const {
+  auto it = routes_.find(dst);
+  return it == routes_.end() ? nullptr : it->second;
+}
+
+void Node::bind(std::uint16_t port, PacketSink& sink) {
+  assert(sinks_.find(port) == sinks_.end() && "port already bound");
+  sinks_[port] = &sink;
+}
+
+void Node::unbind(std::uint16_t port) { sinks_.erase(port); }
+
+void Node::receive(Packet pkt) {
+  if (pkt.flow.dst == id_) {
+    auto it = sinks_.find(pkt.flow.dst_port);
+    if (it == sinks_.end()) {
+      CEBINAE_WARN("node", "node " << id_ << " has no sink on port " << pkt.flow.dst_port);
+      return;
+    }
+    ++delivered_packets_;
+    it->second->deliver(pkt);
+    return;
+  }
+  send(std::move(pkt));
+}
+
+void Node::send(Packet pkt) {
+  Device* egress = route_to(pkt.flow.dst);
+  if (egress == nullptr) {
+    ++routing_drops_;
+    CEBINAE_WARN("node", "node " << id_ << " has no route to " << pkt.flow.dst);
+    return;
+  }
+  egress->send(std::move(pkt));
+}
+
+}  // namespace cebinae

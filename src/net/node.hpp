@@ -1,0 +1,58 @@
+// A network node: host or switch.
+//
+// Nodes forward packets via a static routing table (destination node ->
+// egress device) and deliver locally-addressed packets to the sink
+// registered on the destination port.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/device.hpp"
+#include "net/packet.hpp"
+
+namespace cebinae {
+
+class Node {
+ public:
+  explicit Node(NodeId id) : id_(id) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  Device& add_device(std::unique_ptr<Device> dev);
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+  [[nodiscard]] Device& device(std::size_t i) { return *devices_.at(i); }
+
+  // Static routing: packets destined to `dst` leave through `egress`.
+  void set_route(NodeId dst, Device& egress) { routes_[dst] = &egress; }
+  [[nodiscard]] Device* route_to(NodeId dst) const;
+
+  // Register/unregister the local sink for a destination port.
+  void bind(std::uint16_t port, PacketSink& sink);
+  void unbind(std::uint16_t port);
+
+  // Entry point for packets arriving from the wire and for locally
+  // originated traffic: delivers locally or forwards via the routing table.
+  void receive(Packet pkt);
+
+  // Send a locally originated packet toward pkt.flow.dst.
+  void send(Packet pkt);
+
+  [[nodiscard]] std::uint64_t delivered_packets() const { return delivered_packets_; }
+  [[nodiscard]] std::uint64_t routing_drops() const { return routing_drops_; }
+
+ private:
+  NodeId id_;
+  std::vector<std::unique_ptr<Device>> devices_;
+  std::unordered_map<NodeId, Device*> routes_;
+  std::unordered_map<std::uint16_t, PacketSink*> sinks_;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t routing_drops_ = 0;
+};
+
+}  // namespace cebinae

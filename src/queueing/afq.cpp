@@ -1,0 +1,65 @@
+#include "queueing/afq.hpp"
+
+#include <algorithm>
+
+namespace cebinae {
+
+Afq::Afq(AfqParams params) : params_(params), queues_(params.num_queues) {}
+
+bool Afq::enqueue(Packet pkt) {
+  if (bytes_ + pkt.size_bytes > params_.buffer_bytes) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+
+  // Bid: the round in which the flow's cumulative bytes would depart under
+  // ideal fair queueing. Flows idle past the current round restart there
+  // (the sketch's counters cannot go backwards, so AFQ floors at the
+  // current round).
+  std::uint64_t& fb = flow_bytes_[pkt.flow];
+  fb = std::max(fb, current_round_ * params_.bytes_per_round);
+  const std::uint64_t round = fb / params_.bytes_per_round;
+  const std::uint64_t ahead = round - current_round_;
+
+  if (ahead >= params_.num_queues) {
+    // Target slot is beyond the calendar horizon: drop (Equation 1's limit).
+    ++horizon_drops_;
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+
+  fb += pkt.size_bytes;
+  const std::size_t slot = (head_slot_ + ahead) % params_.num_queues;
+  bytes_ += pkt.size_bytes;
+  ++packets_;
+  ++stats_.enqueued_packets;
+  queues_[slot].push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> Afq::dequeue() {
+  // Serve the current round's queue; when it empties, rotate to the next
+  // non-empty slot (advancing the virtual round clock).
+  for (std::uint32_t scanned = 0; scanned < params_.num_queues; ++scanned) {
+    auto& q = queues_[head_slot_];
+    if (!q.empty()) {
+      Packet pkt = std::move(q.front());
+      q.pop_front();
+      bytes_ -= pkt.size_bytes;
+      --packets_;
+      ++stats_.dequeued_packets;
+      stats_.dequeued_bytes += pkt.size_bytes;
+      return pkt;
+    }
+    head_slot_ = (head_slot_ + 1) % params_.num_queues;
+    ++current_round_;
+  }
+  // All slots empty: opportunistically age out stale flow state so the map
+  // does not grow without bound across idle periods.
+  if (flow_bytes_.size() > 100'000) flow_bytes_.clear();
+  return std::nullopt;
+}
+
+}  // namespace cebinae

@@ -1,0 +1,110 @@
+#include "queueing/codel.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace cebinae {
+
+Time CodelController::control_law(Time t) const {
+  return t + Time(static_cast<std::int64_t>(static_cast<double>(params_.interval.ns()) /
+                                            std::sqrt(static_cast<double>(count_))));
+}
+
+CodelController::DodequeResult CodelController::dodeque(std::deque<TimestampedPacket>& q,
+                                                        std::uint64_t& bytes, Time now) {
+  DodequeResult r;
+  if (q.empty()) {
+    first_above_time_ = Time::zero();
+    return r;
+  }
+  TimestampedPacket tp = std::move(q.front());
+  q.pop_front();
+  bytes -= tp.pkt.size_bytes;
+
+  const Time sojourn = now - tp.enqueued;
+  if (sojourn < params_.target || bytes < kMtuBytes) {
+    first_above_time_ = Time::zero();
+  } else {
+    if (first_above_time_ == Time::zero()) {
+      first_above_time_ = now + params_.interval;
+    } else if (now >= first_above_time_) {
+      r.ok_to_drop = true;
+    }
+  }
+  r.pkt = std::move(tp.pkt);
+  return r;
+}
+
+std::optional<Packet> CodelController::dequeue(std::deque<TimestampedPacket>& q,
+                                               std::uint64_t& bytes, Time now,
+                                               QueueDiscStats& stats) {
+  auto drop_or_mark = [&](Packet& pkt) -> bool {
+    // Returns true when the packet was ECN-marked (and should be forwarded)
+    // rather than dropped.
+    if (params_.use_ecn && pkt.ect) {
+      pkt.ce = true;
+      ++stats.ecn_marked_packets;
+      return true;
+    }
+    ++stats.dropped_packets;
+    stats.dropped_bytes += pkt.size_bytes;
+    return false;
+  };
+
+  DodequeResult r = dodeque(q, bytes, now);
+  if (dropping_) {
+    if (!r.ok_to_drop) {
+      dropping_ = false;
+    } else {
+      while (dropping_ && r.pkt && now >= drop_next_) {
+        ++count_;
+        if (drop_or_mark(*r.pkt)) {
+          drop_next_ = control_law(drop_next_);
+          break;  // marked packets are still delivered
+        }
+        r = dodeque(q, bytes, now);
+        if (!r.ok_to_drop) {
+          dropping_ = false;
+        } else {
+          drop_next_ = control_law(drop_next_);
+        }
+      }
+    }
+  } else if (r.ok_to_drop) {
+    // Enter dropping state.
+    const bool marked = r.pkt && drop_or_mark(*r.pkt);
+    if (!marked) r = dodeque(q, bytes, now);
+    dropping_ = true;
+    // Start closer to the previous rate if we were recently dropping.
+    if (count_ > 2 && now - drop_next_ < params_.interval) {
+      count_ -= 2;
+    } else {
+      count_ = 1;
+    }
+    drop_next_ = control_law(now);
+  }
+  return r.pkt;
+}
+
+bool CodelQueue::enqueue(Packet pkt) {
+  if (bytes_ + pkt.size_bytes > limit_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  q_.push_back(TimestampedPacket{std::move(pkt), sched_.now()});
+  return true;
+}
+
+std::optional<Packet> CodelQueue::dequeue() {
+  std::optional<Packet> pkt = controller_.dequeue(q_, bytes_, sched_.now(), stats_);
+  if (pkt) {
+    ++stats_.dequeued_packets;
+    stats_.dequeued_bytes += pkt->size_bytes;
+  }
+  return pkt;
+}
+
+}  // namespace cebinae

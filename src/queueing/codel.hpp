@@ -1,0 +1,79 @@
+// CoDel active queue management (RFC 8289).
+//
+// `CodelController` holds the control-law state and is reusable: the
+// standalone `CodelQueue` qdisc wraps one controller around a FIFO, and
+// FQ-CoDel instantiates one controller per flow queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "queueing/queue_disc.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace cebinae {
+
+struct CodelParams {
+  Time target = Milliseconds(5);     // acceptable standing-queue sojourn time
+  Time interval = Milliseconds(100); // sliding window for the minimum
+  bool use_ecn = true;               // mark ECT packets instead of dropping
+};
+
+// A packet with its enqueue timestamp, as stored inside CoDel queues.
+struct TimestampedPacket {
+  Packet pkt;
+  Time enqueued;
+};
+
+class CodelController {
+ public:
+  explicit CodelController(CodelParams params) : params_(params) {}
+
+  // Drive the CoDel state machine at dequeue time over `q`. Drops (or
+  // ECN-marks) packets per the control law and returns the packet to
+  // transmit, if any. `bytes` is the queue's byte counter and is updated as
+  // packets leave; drop/mark counters accumulate into `stats`.
+  std::optional<Packet> dequeue(std::deque<TimestampedPacket>& q, std::uint64_t& bytes,
+                                Time now, QueueDiscStats& stats);
+
+  [[nodiscard]] std::uint32_t drop_count() const { return count_; }
+  [[nodiscard]] bool dropping() const { return dropping_; }
+
+ private:
+  struct DodequeResult {
+    std::optional<Packet> pkt;
+    bool ok_to_drop = false;
+  };
+
+  DodequeResult dodeque(std::deque<TimestampedPacket>& q, std::uint64_t& bytes, Time now);
+  [[nodiscard]] Time control_law(Time t) const;
+
+  CodelParams params_;
+  Time first_above_time_ = Time::zero();
+  Time drop_next_ = Time::zero();
+  std::uint32_t count_ = 0;
+  bool dropping_ = false;
+};
+
+class CodelQueue final : public QueueDisc {
+ public:
+  CodelQueue(Scheduler& sched, std::uint64_t limit_bytes, CodelParams params = {})
+      : sched_(sched), limit_bytes_(limit_bytes), controller_(params) {}
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+
+  [[nodiscard]] std::uint64_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t packet_count() const override { return q_.size(); }
+
+ private:
+  Scheduler& sched_;
+  std::uint64_t limit_bytes_;
+  CodelController controller_;
+  std::deque<TimestampedPacket> q_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,29 @@
+#include "queueing/fifo_queue.hpp"
+
+#include <utility>
+
+namespace cebinae {
+
+bool FifoQueue::enqueue(Packet pkt) {
+  if (bytes_ + pkt.size_bytes > limit_bytes_ || q_.size() + 1 > limit_packets_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  q_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> FifoQueue::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += pkt.size_bytes;
+  return pkt;
+}
+
+}  // namespace cebinae

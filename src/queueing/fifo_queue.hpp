@@ -1,0 +1,43 @@
+// Drop-tail FIFO queue: the paper's baseline queue discipline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <optional>
+
+#include "queueing/queue_disc.hpp"
+
+namespace cebinae {
+
+class FifoQueue final : public QueueDisc {
+ public:
+  // Limits are checked before admitting a packet: admission requires both
+  // byte_count + size <= limit_bytes and packet_count + 1 <= limit_packets.
+  explicit FifoQueue(std::uint64_t limit_bytes,
+                     std::uint64_t limit_packets = std::numeric_limits<std::uint64_t>::max())
+      : limit_bytes_(limit_bytes), limit_packets_(limit_packets) {}
+
+  [[nodiscard]] static std::uint64_t unlimited() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  // Convenience: limit expressed in MTUs, as in the paper's Table 2.
+  [[nodiscard]] static FifoQueue with_mtu_limit(std::uint64_t mtus) {
+    return FifoQueue(mtus * kMtuBytes);
+  }
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+
+  [[nodiscard]] std::uint64_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t packet_count() const override { return q_.size(); }
+
+ private:
+  std::uint64_t limit_bytes_;
+  std::uint64_t limit_packets_;
+  std::uint64_t bytes_ = 0;
+  std::deque<Packet> q_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,104 @@
+#include "queueing/fq_codel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace cebinae {
+
+std::uint64_t FqCoDel::bucket_of(const FlowId& flow) const {
+  const std::uint64_t h = FlowIdHash{}(flow);
+  return params_.bucket_count == 0 ? h : h % params_.bucket_count;
+}
+
+FqCoDel::FlowQueue& FqCoDel::queue_for(const Packet& pkt) {
+  const std::uint64_t bucket = bucket_of(pkt.flow);
+  auto it = queues_.find(bucket);
+  if (it == queues_.end()) {
+    it = queues_.emplace(bucket, std::make_unique<FlowQueue>(params_.codel)).first;
+  }
+  return *it->second;
+}
+
+void FqCoDel::drop_from_fattest() {
+  FlowQueue* fattest = nullptr;
+  for (auto& [bucket, fq] : queues_) {
+    if (!fattest || fq->bytes > fattest->bytes) fattest = fq.get();
+  }
+  if (!fattest || fattest->q.empty()) return;
+  // RFC 8290 drops from the head of the fattest queue to penalize the
+  // standing queue rather than the arriving packet.
+  TimestampedPacket victim = std::move(fattest->q.front());
+  fattest->q.pop_front();
+  fattest->bytes -= victim.pkt.size_bytes;
+  bytes_ -= victim.pkt.size_bytes;
+  --packets_;
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += victim.pkt.size_bytes;
+}
+
+bool FqCoDel::enqueue(Packet pkt) {
+  FlowQueue& fq = queue_for(pkt);
+  const std::uint32_t size = pkt.size_bytes;
+  fq.q.push_back(TimestampedPacket{std::move(pkt), sched_.now()});
+  fq.bytes += size;
+  bytes_ += size;
+  ++packets_;
+  ++stats_.enqueued_packets;
+
+  if (!fq.in_new && !fq.in_old) {
+    fq.deficit = params_.quantum;
+    new_flows_.push_back(&fq);
+    fq.in_new = true;
+  }
+  while (bytes_ > params_.limit_bytes) drop_from_fattest();
+  return true;
+}
+
+std::optional<Packet> FqCoDel::dequeue() {
+  // Bounded by the number of scheduled queues; each iteration either
+  // services, recycles, or retires one queue.
+  while (!new_flows_.empty() || !old_flows_.empty()) {
+    const bool from_new = !new_flows_.empty();
+    std::list<FlowQueue*>& lst = from_new ? new_flows_ : old_flows_;
+    FlowQueue* fq = lst.front();
+
+    if (fq->deficit <= 0) {
+      fq->deficit += params_.quantum;
+      lst.pop_front();
+      fq->in_new = false;
+      fq->in_old = true;
+      old_flows_.push_back(fq);
+      continue;
+    }
+
+    const std::uint64_t bytes_before = fq->bytes;
+    const std::size_t pkts_before = fq->q.size();
+    std::optional<Packet> pkt = fq->codel.dequeue(fq->q, fq->bytes, sched_.now(), stats_);
+    // CoDel may have consumed several packets (drops plus the returned one).
+    bytes_ -= bytes_before - fq->bytes;
+    packets_ -= pkts_before - fq->q.size();
+
+    if (!pkt) {
+      // Queue is empty: a new queue gets one pass through old before being
+      // retired (RFC 8290 §4.2); an old empty queue is removed.
+      lst.pop_front();
+      if (from_new) {
+        fq->in_new = false;
+        fq->in_old = true;
+        old_flows_.push_back(fq);
+      } else {
+        fq->in_old = false;
+      }
+      continue;
+    }
+
+    fq->deficit -= pkt->size_bytes;
+    ++stats_.dequeued_packets;
+    stats_.dequeued_bytes += pkt->size_bytes;
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cebinae

@@ -1,0 +1,65 @@
+// FQ-CoDel (RFC 8290): DRR fair queueing across per-flow queues, each
+// managed by a CoDel controller. This is the paper's "FQ" comparison point;
+// following the paper's methodology, the default flow-queue count is
+// effectively unbounded (ideal per-flow queueing) rather than 1024.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "queueing/codel.hpp"
+#include "queueing/queue_disc.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cebinae {
+
+struct FqCoDelParams {
+  std::uint64_t limit_bytes = 4 * 1024 * 1024;
+  std::uint32_t quantum = kMtuBytes;
+  // Number of hash buckets; 0 means ideal per-flow queues (every distinct
+  // 5-tuple gets its own queue), matching the paper's 2^32-1 configuration.
+  std::uint32_t bucket_count = 0;
+  CodelParams codel;
+};
+
+class FqCoDel final : public QueueDisc {
+ public:
+  FqCoDel(Scheduler& sched, FqCoDelParams params) : sched_(sched), params_(params) {}
+
+  bool enqueue(Packet pkt) override;
+  std::optional<Packet> dequeue() override;
+
+  [[nodiscard]] std::uint64_t byte_count() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t packet_count() const override { return packets_; }
+  [[nodiscard]] std::size_t flow_queue_count() const { return queues_.size(); }
+
+ private:
+  struct FlowQueue {
+    std::deque<TimestampedPacket> q;
+    std::uint64_t bytes = 0;
+    std::int64_t deficit = 0;
+    CodelController codel;
+    bool in_new = false;  // linked on new_flows_
+    bool in_old = false;  // linked on old_flows_
+
+    explicit FlowQueue(CodelParams p) : codel(p) {}
+  };
+
+  [[nodiscard]] std::uint64_t bucket_of(const FlowId& flow) const;
+  FlowQueue& queue_for(const Packet& pkt);
+  void drop_from_fattest();
+
+  Scheduler& sched_;
+  FqCoDelParams params_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<FlowQueue>> queues_;
+  std::list<FlowQueue*> new_flows_;
+  std::list<FlowQueue*> old_flows_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace cebinae

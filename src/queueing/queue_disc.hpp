@@ -1,0 +1,40 @@
+// Queue discipline interface attached to every egress device.
+//
+// A device pulls from its queue disc whenever the link goes idle; the queue
+// disc decides admission (enqueue may drop) and service order (dequeue).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.hpp"
+
+namespace cebinae {
+
+struct QueueDiscStats {
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t dequeued_packets = 0;
+  std::uint64_t dequeued_bytes = 0;
+  std::uint64_t ecn_marked_packets = 0;
+};
+
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  // Returns false (and accounts a drop) when the packet was not admitted.
+  virtual bool enqueue(Packet pkt) = 0;
+  virtual std::optional<Packet> dequeue() = 0;
+
+  [[nodiscard]] virtual std::uint64_t byte_count() const = 0;
+  [[nodiscard]] virtual std::uint64_t packet_count() const = 0;
+
+  [[nodiscard]] const QueueDiscStats& stats() const { return stats_; }
+
+ protected:
+  QueueDiscStats stats_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,110 @@
+#include "queueing/token_bucket.hpp"
+
+#include <algorithm>
+
+namespace cebinae {
+
+void TokenBucket::refill(Time now) {
+  if (now > last_refill_) {
+    tokens_ = std::min(burst_bytes_, tokens_ + rate_Bps_ * (now - last_refill_).seconds());
+    last_refill_ = now;
+  }
+}
+
+bool TokenBucket::conforms(std::uint32_t bytes, Time now) {
+  refill(now);
+  if (tokens_ >= static_cast<double>(bytes)) {
+    tokens_ -= bytes;
+    return true;
+  }
+  return false;
+}
+
+double TokenBucket::tokens(Time now) const {
+  TokenBucket copy = *this;
+  copy.refill(now);
+  return copy.tokens_;
+}
+
+StrawmanQueueDisc::StrawmanQueueDisc(Scheduler& sched, std::uint64_t capacity_bps,
+                                     std::uint64_t buffer_bytes, StrawmanParams params)
+    : sched_(sched), capacity_bps_(capacity_bps), buffer_bytes_(buffer_bytes),
+      params_(params) {
+  sched_.schedule(params_.interval, [this] { on_tick(); });
+}
+
+void StrawmanQueueDisc::on_tick() {
+  const double capacity_bytes =
+      static_cast<double>(capacity_bps_) / 8.0 * params_.interval.seconds();
+  const bool saturated =
+      static_cast<double>(interval_tx_) >= capacity_bytes * (1.0 - params_.delta_port);
+
+  if (saturated) {
+    // Freeze every flow at the maximal observed per-flow rate: the
+    // strawman's "token-bucket rate limit on all flows of the maximal
+    // size". Re-armed every interval while saturation persists so the limit
+    // tracks the current maximum (it never redistributes, though: every
+    // flow's own rate is below the max by definition).
+    std::uint64_t max_bytes = 0;
+    for (const auto& [flow, b] : interval_bytes_) max_bytes = std::max(max_bytes, b);
+    const double rate = static_cast<double>(max_bytes) / params_.interval.seconds();
+    if (rate > 0) {
+      frozen_rate_Bps_ = rate;
+      for (auto& [flow, bucket] : buckets_) bucket.set_rate(rate);
+      limiting_ = true;
+    }
+  } else if (!saturated && limiting_) {
+    // Aggregate demand dropped below capacity: release all limits.
+    limiting_ = false;
+    buckets_.clear();
+    frozen_rate_Bps_ = 0.0;
+  }
+
+  interval_bytes_.clear();
+  interval_tx_ = 0;
+  sched_.schedule(params_.interval, [this] { on_tick(); });
+}
+
+bool StrawmanQueueDisc::enqueue(Packet pkt) {
+  if (limiting_) {
+    auto it = buckets_.find(pkt.flow);
+    if (it == buckets_.end()) {
+      it = buckets_
+               .emplace(pkt.flow,
+                        TokenBucket(frozen_rate_Bps_,
+                                    params_.burst_factor * frozen_rate_Bps_ *
+                                        params_.interval.seconds()))
+               .first;
+    }
+    if (!it->second.conforms(pkt.size_bytes, sched_.now())) {
+      ++limited_drops_;
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += pkt.size_bytes;
+      return false;
+    }
+  }
+
+  if (bytes_ + pkt.size_bytes > buffer_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += pkt.size_bytes;
+    return false;
+  }
+  bytes_ += pkt.size_bytes;
+  ++stats_.enqueued_packets;
+  q_.push_back(std::move(pkt));
+  return true;
+}
+
+std::optional<Packet> StrawmanQueueDisc::dequeue() {
+  if (q_.empty()) return std::nullopt;
+  Packet pkt = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= pkt.size_bytes;
+  interval_bytes_[pkt.flow] += pkt.size_bytes;
+  interval_tx_ += pkt.size_bytes;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += pkt.size_bytes;
+  return pkt;
+}
+
+}  // namespace cebinae

@@ -1,0 +1,174 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "metrics/jfi.hpp"
+#include "queueing/fifo_queue.hpp"
+
+namespace cebinae {
+
+namespace {
+// Fixed small propagation delays for the bottleneck and receiver access
+// links; the sender access link absorbs the rest of each flow's RTT budget.
+constexpr Time kChainLinkDelay = Microseconds(50);
+constexpr Time kDstAccessDelay = Microseconds(50);
+
+Time src_access_delay_for(const FlowSpec& spec, int hops) {
+  const Time fixed = hops * kChainLinkDelay + kDstAccessDelay;
+  const Time budget = spec.rtt / 2 - fixed;
+  return std::max(budget, Microseconds(1));
+}
+}  // namespace
+
+std::string_view to_string(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kFifo:
+      return "FIFO";
+    case QdiscKind::kFqCoDel:
+      return "FQ";
+    case QdiscKind::kCebinae:
+      return "Cebinae";
+    case QdiscKind::kAfq:
+      return "AFQ";
+    case QdiscKind::kStrawman:
+      return "Strawman";
+  }
+  return "?";
+}
+
+std::unique_ptr<QueueDisc> Scenario::make_bottleneck_qdisc(int link) {
+  switch (cfg_.qdisc) {
+    case QdiscKind::kFifo:
+      return std::make_unique<FifoQueue>(cfg_.buffer_bytes);
+    case QdiscKind::kFqCoDel: {
+      FqCoDelParams p = cfg_.fq;
+      p.limit_bytes = cfg_.buffer_bytes;
+      return std::make_unique<FqCoDel>(net_->scheduler(), p);
+    }
+    case QdiscKind::kCebinae: {
+      auto q = std::make_unique<CebinaeQueueDisc>(net_->scheduler(), cfg_.bottleneck_bps,
+                                                  cfg_.buffer_bytes, effective_params_);
+      cebinae_qdiscs_.push_back(q.get());
+      (void)link;
+      return q;
+    }
+    case QdiscKind::kAfq: {
+      AfqParams p = cfg_.afq;
+      p.buffer_bytes = cfg_.buffer_bytes;
+      return std::make_unique<Afq>(p);
+    }
+    case QdiscKind::kStrawman:
+      return std::make_unique<StrawmanQueueDisc>(net_->scheduler(), cfg_.bottleneck_bps,
+                                                 cfg_.buffer_bytes, cfg_.strawman);
+  }
+  return nullptr;
+}
+
+Scenario::Scenario(ScenarioConfig config) : cfg_(std::move(config)) {
+  assert(!cfg_.flows.empty());
+  net_ = std::make_unique<Network>(cfg_.seed);
+
+  // Normalize flow paths.
+  for (FlowSpec& f : cfg_.flows) {
+    if (f.exit < 0) f.exit = cfg_.chain_links;
+  }
+
+  // Derive Cebinae timing from the link and the slowest flow (paper §4.4).
+  effective_params_ = cfg_.cebinae;
+  if (cfg_.qdisc == QdiscKind::kCebinae && cfg_.auto_cebinae_timing) {
+    Time max_rtt = Time::zero();
+    for (const FlowSpec& f : cfg_.flows) max_rtt = std::max(max_rtt, f.rtt);
+    const CebinaeParams derived =
+        CebinaeParams::for_link(cfg_.bottleneck_bps, cfg_.buffer_bytes, max_rtt);
+    effective_params_.dt = derived.dt;
+    // The RTT rule gives a lower bound on the recomputation interval; a
+    // config may ask for a longer one (smoother rate measurements stabilize
+    // the top-flow membership).
+    effective_params_.p_rounds = std::max(derived.p_rounds, cfg_.cebinae.p_rounds);
+  }
+
+  topo_ = build_chain(*net_, cfg_.chain_links, cfg_.bottleneck_bps, kChainLinkDelay,
+                      [this](int link) { return make_bottleneck_qdisc(link); });
+
+  if (cfg_.qdisc == QdiscKind::kCebinae) {
+    for (CebinaeQueueDisc* q : cebinae_qdiscs_) {
+      agents_.push_back(std::make_unique<CebinaeAgent>(net_->scheduler(), *q));
+    }
+  }
+
+  // Hosts + flows.
+  const std::uint64_t access_bps = static_cast<std::uint64_t>(
+      static_cast<double>(cfg_.bottleneck_bps) * cfg_.access_rate_factor);
+  RandomStream jitter_rng = net_->rng().derive("start-jitter");
+
+  std::vector<HostPair> pairs;
+  pairs.reserve(cfg_.flows.size());
+  for (const FlowSpec& spec : cfg_.flows) {
+    const Time src_delay = src_access_delay_for(spec, spec.exit - spec.enter);
+    pairs.push_back(
+        attach_hosts(*net_, topo_, spec.enter, spec.exit, access_bps, src_delay,
+                     kDstAccessDelay));
+  }
+  net_->build_routes();
+
+  for (std::size_t i = 0; i < cfg_.flows.size(); ++i) {
+    const FlowSpec& spec = cfg_.flows[i];
+    BulkFlow::Spec bs;
+    bs.cca = spec.cca;
+    bs.start_time = spec.start;
+    if (cfg_.start_jitter > Time::zero()) {
+      bs.start_time += Time(static_cast<std::int64_t>(
+          jitter_rng.uniform(0.0, static_cast<double>(cfg_.start_jitter.ns()))));
+    }
+    bs.stop_time = spec.stop;
+    bs.bytes_to_send = spec.bytes;
+    bs.ecn = spec.ecn;
+    bs.port = static_cast<std::uint16_t>(5000 + i);
+    flows_.push_back(
+        std::make_unique<BulkFlow>(*net_, *pairs[i].src, *pairs[i].dst, bs, &stats_));
+    flow_ids_.push_back(flows_.back()->id());
+  }
+}
+
+void Scenario::add_probe(Time period, std::function<void(Time)> fn) {
+  auto gen = std::make_unique<PacketGenerator>(
+      net_->scheduler(), period,
+      [this, fn = std::move(fn)] { fn(net_->scheduler().now()); });
+  gen->start(period);
+  probes_.push_back(std::move(gen));
+}
+
+ScenarioResult Scenario::run() {
+  for (auto& agent : agents_) agent->start();
+  for (auto& flow : flows_) flow->start();
+  net_->scheduler().run_until(cfg_.duration);
+
+  ScenarioResult r;
+  r.goodput_Bps = stats_.goodputs_Bps(Time::zero(), cfg_.duration);
+  for (double g : r.goodput_Bps) r.total_goodput_Bps += g;
+  for (const Device* dev : topo_.bottlenecks) {
+    r.throughput_Bps.push_back(static_cast<double>(dev->tx_bytes()) /
+                               cfg_.duration.seconds());
+  }
+  r.jfi = jain_index(r.goodput_Bps);
+  return r;
+}
+
+std::vector<double> Scenario::ideal_goodputs_Bps() const {
+  MaxMinProblem problem;
+  // Application-level capacity: wire rate scaled by payload efficiency.
+  const double payload_efficiency =
+      static_cast<double>(kMssBytes) / static_cast<double>(kMtuBytes);
+  problem.link_capacity.assign(
+      static_cast<std::size_t>(cfg_.chain_links),
+      static_cast<double>(cfg_.bottleneck_bps) / 8.0 * payload_efficiency);
+  for (const FlowSpec& f : cfg_.flows) {
+    std::vector<std::size_t> links;
+    for (int l = f.enter; l < f.exit; ++l) links.push_back(static_cast<std::size_t>(l));
+    problem.flow_links.push_back(std::move(links));
+  }
+  return maxmin_rates(problem);
+}
+
+}  // namespace cebinae

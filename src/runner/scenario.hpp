@@ -1,0 +1,120 @@
+// Declarative experiment runner shared by examples, benches, and
+// integration tests.
+//
+// A ScenarioConfig names a chain topology (1 link = dumbbell, N links =
+// parking lot), a bottleneck queue discipline (FIFO / FQ-CoDel / Cebinae),
+// and a set of TCP flows with per-flow CCA, RTT, entry/exit points, and
+// start/stop times. Scenario builds the network, runs it, and reports the
+// paper's metrics (per-flow goodput, bottleneck throughput, JFI).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "core/cebinae_queue_disc.hpp"
+#include "core/params.hpp"
+#include "metrics/flow_stats.hpp"
+#include "metrics/maxmin.hpp"
+#include "net/network.hpp"
+#include "queueing/afq.hpp"
+#include "queueing/fq_codel.hpp"
+#include "queueing/token_bucket.hpp"
+#include "runner/flow_spec.hpp"
+#include "topology/topology.hpp"
+#include "workload/bulk_app.hpp"
+
+namespace cebinae {
+
+enum class QdiscKind { kFifo, kFqCoDel, kCebinae, kAfq, kStrawman };
+
+[[nodiscard]] std::string_view to_string(QdiscKind kind);
+
+struct ScenarioConfig {
+  int chain_links = 1;
+  std::uint64_t bottleneck_bps = 100'000'000;
+  std::uint64_t buffer_bytes = 420ull * kMtuBytes;
+  QdiscKind qdisc = QdiscKind::kFifo;
+
+  // Cebinae knobs. With auto_cebinae_timing, dT and P are derived from the
+  // link (Eq. 2 + max-RTT rule) and only the thresholds below are taken
+  // from `cebinae`.
+  CebinaeParams cebinae;
+  bool auto_cebinae_timing = true;
+
+  FqCoDelParams fq;  // limit_bytes is overridden with buffer_bytes
+  AfqParams afq;     // buffer_bytes is overridden with buffer_bytes
+  StrawmanParams strawman;
+
+  double access_rate_factor = 4.0;
+  Time duration = Seconds(30);
+  Time start_jitter = Milliseconds(100);  // uniform [0, jitter) added to starts
+  std::uint64_t seed = 1;
+
+  std::vector<FlowSpec> flows;
+};
+
+struct ScenarioResult {
+  std::vector<double> goodput_Bps;      // per flow, over the whole run
+  double total_goodput_Bps = 0.0;
+  std::vector<double> throughput_Bps;   // per chain link (wire bytes)
+  double jfi = 1.0;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+
+  // Runs until config.duration and summarizes.
+  ScenarioResult run();
+
+  // Pre-run hooks -----------------------------------------------------------
+
+  // Fire `fn(now)` every `period` for the whole run (time-series probes).
+  void add_probe(Time period, std::function<void(Time)> fn);
+
+  // Accessors ---------------------------------------------------------------
+  [[nodiscard]] Network& network() { return *net_; }
+  [[nodiscard]] FlowStatsCollector& stats() { return stats_; }
+  [[nodiscard]] const std::vector<FlowId>& flow_ids() const { return flow_ids_; }
+  [[nodiscard]] TcpSender& sender(std::size_t flow_index) {
+    return flows_.at(flow_index)->sender();
+  }
+  [[nodiscard]] const Device& bottleneck(int link = 0) const {
+    return *topo_.bottlenecks.at(link);
+  }
+  // Non-null only for QdiscKind::kCebinae.
+  [[nodiscard]] CebinaeAgent* agent(int link = 0) {
+    return agents_.empty() ? nullptr : agents_.at(link).get();
+  }
+  [[nodiscard]] CebinaeQueueDisc* cebinae_qdisc(int link = 0) {
+    return cebinae_qdiscs_.empty() ? nullptr : cebinae_qdiscs_.at(link);
+  }
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  [[nodiscard]] const CebinaeParams& effective_cebinae_params() const {
+    return effective_params_;
+  }
+
+  // Ideal max-min goodput allocation (application-level) for this scenario's
+  // topology and flows — Fig. 11's "Ideal" bars.
+  [[nodiscard]] std::vector<double> ideal_goodputs_Bps() const;
+
+ private:
+  [[nodiscard]] std::unique_ptr<QueueDisc> make_bottleneck_qdisc(int link);
+
+  ScenarioConfig cfg_;
+  CebinaeParams effective_params_;
+  std::unique_ptr<Network> net_;
+  FlowStatsCollector stats_;
+  ChainTopology topo_;
+  std::vector<std::unique_ptr<BulkFlow>> flows_;
+  std::vector<FlowId> flow_ids_;
+  std::vector<std::unique_ptr<CebinaeAgent>> agents_;
+  std::vector<CebinaeQueueDisc*> cebinae_qdiscs_;
+  std::vector<std::unique_ptr<PacketGenerator>> probes_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,31 @@
+#include "sim/logging.hpp"
+
+namespace cebinae {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+constexpr std::string_view name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel Logger::level() { return g_level; }
+void Logger::set_level(LogLevel level) { g_level = level; }
+
+void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
+  std::clog << '[' << name(level) << "] " << component << ": " << message << '\n';
+}
+
+}  // namespace cebinae

@@ -1,0 +1,38 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging is off by default (benches and tests stay quiet); examples enable
+// it to narrate what the network is doing. Not thread-safe by design: the
+// simulator is single-threaded.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace cebinae {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void log(LogLevel level, std::string_view component, std::string_view message);
+
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
+};
+
+}  // namespace cebinae
+
+#define CEBINAE_LOG(lvl, component, expr)                        \
+  do {                                                           \
+    if (::cebinae::Logger::enabled(lvl)) {                       \
+      std::ostringstream cebinae_log_oss_;                       \
+      cebinae_log_oss_ << expr;                                  \
+      ::cebinae::Logger::log(lvl, component, cebinae_log_oss_.str()); \
+    }                                                            \
+  } while (0)
+
+#define CEBINAE_DEBUG(component, expr) CEBINAE_LOG(::cebinae::LogLevel::kDebug, component, expr)
+#define CEBINAE_INFO(component, expr) CEBINAE_LOG(::cebinae::LogLevel::kInfo, component, expr)
+#define CEBINAE_WARN(component, expr) CEBINAE_LOG(::cebinae::LogLevel::kWarn, component, expr)

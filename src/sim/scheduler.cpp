@@ -1,0 +1,56 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cebinae {
+
+EventId Scheduler::schedule(Time delay, Callback cb) {
+  assert(delay >= Time::zero() && "events cannot be scheduled in the past");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventId Scheduler::schedule_at(Time when, Callback cb) {
+  assert(when >= now_ && "events cannot be scheduled in the past");
+  const std::uint64_t seq = next_seq_++;
+  heap_.push(Record{when, seq, std::move(cb)});
+  return EventId(seq);
+}
+
+void Scheduler::cancel(EventId id) {
+  if (id.valid()) cancelled_.insert(id.seq_);
+}
+
+bool Scheduler::pop_one(Time limit) {
+  while (!heap_.empty()) {
+    const Record& top = heap_.top();
+    if (top.when > limit) return false;
+    if (auto it = cancelled_.find(top.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      heap_.pop();
+      continue;
+    }
+    // Move the callback out before popping so re-entrant schedule() calls
+    // cannot invalidate the reference mid-execution.
+    Record rec{top.when, top.seq, std::move(const_cast<Record&>(top).cb)};
+    heap_.pop();
+    now_ = rec.when;
+    ++executed_;
+    rec.cb();
+    return true;
+  }
+  return false;
+}
+
+void Scheduler::run() {
+  while (pop_one(Time::max())) {
+  }
+}
+
+void Scheduler::run_until(Time until) {
+  while (pop_one(until)) {
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace cebinae

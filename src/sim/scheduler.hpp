@@ -1,0 +1,85 @@
+// Deterministic discrete-event scheduler.
+//
+// Events at the same timestamp fire in insertion order (FIFO tie-break via a
+// monotonically increasing sequence number), which makes every simulation
+// exactly reproducible for a given seed and schedule.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cebinae {
+
+// Handle used to cancel a pending event. Cancellation is lazy: the event
+// record stays in the heap but is skipped when popped.
+class EventId {
+ public:
+  EventId() = default;
+
+  [[nodiscard]] bool valid() const { return seq_ != 0; }
+
+ private:
+  friend class Scheduler;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] Time now() const { return now_; }
+
+  // Schedule `cb` to run `delay` after the current time. `delay` must be
+  // non-negative; a zero delay runs after all already-scheduled events at the
+  // current timestamp.
+  EventId schedule(Time delay, Callback cb);
+
+  // Schedule at an absolute simulation time (>= now()).
+  EventId schedule_at(Time when, Callback cb);
+
+  // Cancel a pending event; a default-constructed or already-fired id is a
+  // harmless no-op.
+  void cancel(EventId id);
+
+  // Run until the event queue is empty.
+  void run();
+
+  // Run events with timestamp <= `until`; afterwards now() == until.
+  void run_until(Time until);
+
+  [[nodiscard]] std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Record {
+    Time when;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Record& a, const Record& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool pop_one(Time limit);
+
+  Time now_ = Time::zero();
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Record, std::vector<Record>, Later> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,68 @@
+// Strong nanosecond time type for the discrete-event simulator.
+//
+// All simulation timestamps and durations are integral nanoseconds, which
+// keeps event ordering exact (no floating-point drift) and matches the
+// clock-precision granularity that Cebinae's virtual rounds (vdT) assume.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <limits>
+#include <ostream>
+
+namespace cebinae {
+
+class Time {
+ public:
+  constexpr Time() = default;
+  constexpr explicit Time(std::int64_t nanos) : ns_(nanos) {}
+
+  [[nodiscard]] constexpr std::int64_t ns() const { return ns_; }
+  [[nodiscard]] constexpr double seconds() const { return static_cast<double>(ns_) * 1e-9; }
+  [[nodiscard]] constexpr double millis() const { return static_cast<double>(ns_) * 1e-6; }
+  [[nodiscard]] constexpr double micros() const { return static_cast<double>(ns_) * 1e-3; }
+
+  [[nodiscard]] static constexpr Time zero() { return Time(0); }
+  [[nodiscard]] static constexpr Time max() {
+    return Time(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr auto operator<=>(const Time&) const = default;
+
+  constexpr Time& operator+=(Time rhs) {
+    ns_ += rhs.ns_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) {
+    ns_ -= rhs.ns_;
+    return *this;
+  }
+
+  friend constexpr Time operator+(Time a, Time b) { return Time(a.ns_ + b.ns_); }
+  friend constexpr Time operator-(Time a, Time b) { return Time(a.ns_ - b.ns_); }
+  friend constexpr Time operator*(Time a, std::int64_t k) { return Time(a.ns_ * k); }
+  friend constexpr Time operator*(std::int64_t k, Time a) { return Time(a.ns_ * k); }
+  friend constexpr std::int64_t operator/(Time a, Time b) { return a.ns_ / b.ns_; }
+  friend constexpr Time operator/(Time a, std::int64_t k) { return Time(a.ns_ / k); }
+  friend constexpr Time operator%(Time a, Time b) { return Time(a.ns_ % b.ns_); }
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+[[nodiscard]] constexpr Time Nanoseconds(std::int64_t v) { return Time(v); }
+[[nodiscard]] constexpr Time Microseconds(std::int64_t v) { return Time(v * 1'000); }
+[[nodiscard]] constexpr Time Milliseconds(std::int64_t v) { return Time(v * 1'000'000); }
+[[nodiscard]] constexpr Time Seconds(std::int64_t v) { return Time(v * 1'000'000'000); }
+
+// Fractional constructors used by configuration code (not hot paths).
+[[nodiscard]] constexpr Time SecondsF(double v) {
+  return Time(static_cast<std::int64_t>(v * 1e9));
+}
+[[nodiscard]] constexpr Time MillisecondsF(double v) {
+  return Time(static_cast<std::int64_t>(v * 1e6));
+}
+
+inline std::ostream& operator<<(std::ostream& os, Time t) { return os << t.ns() << "ns"; }
+
+}  // namespace cebinae

@@ -1,0 +1,61 @@
+// String/enum registry of the congestion control algorithms used by the
+// paper's evaluation (Table 2 and all figures).
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "tcp/bbr.hpp"
+#include "tcp/bic.hpp"
+#include "tcp/cubic.hpp"
+#include "tcp/new_reno.hpp"
+#include "tcp/vegas.hpp"
+
+namespace cebinae {
+
+enum class CcaType { kNewReno, kCubic, kBic, kVegas, kBbr };
+
+inline std::unique_ptr<CongestionControl> make_cc(CcaType type, std::uint32_t mss = kMssBytes) {
+  switch (type) {
+    case CcaType::kNewReno:
+      return NewReno::make(mss);
+    case CcaType::kCubic:
+      return Cubic::make(mss);
+    case CcaType::kBic:
+      return Bic::make(mss);
+    case CcaType::kVegas:
+      return Vegas::make(mss);
+    case CcaType::kBbr:
+      return Bbr::make(mss);
+  }
+  throw std::invalid_argument("unknown CCA type");
+}
+
+inline std::string_view to_string(CcaType type) {
+  switch (type) {
+    case CcaType::kNewReno:
+      return "NewReno";
+    case CcaType::kCubic:
+      return "Cubic";
+    case CcaType::kBic:
+      return "Bic";
+    case CcaType::kVegas:
+      return "Vegas";
+    case CcaType::kBbr:
+      return "BBR";
+  }
+  return "?";
+}
+
+inline CcaType cca_from_string(std::string_view name) {
+  if (name == "NewReno" || name == "newreno") return CcaType::kNewReno;
+  if (name == "Cubic" || name == "cubic") return CcaType::kCubic;
+  if (name == "Bic" || name == "bic") return CcaType::kBic;
+  if (name == "Vegas" || name == "vegas") return CcaType::kVegas;
+  if (name == "BBR" || name == "bbr") return CcaType::kBbr;
+  throw std::invalid_argument("unknown CCA name: " + std::string(name));
+}
+
+}  // namespace cebinae

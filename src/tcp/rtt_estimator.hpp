@@ -1,0 +1,41 @@
+// RTT estimation and retransmission timeout per RFC 6298.
+#pragma once
+
+#include "sim/time.hpp"
+
+namespace cebinae {
+
+class RttEstimator {
+ public:
+  struct Params {
+    Time initial_rto = Seconds(1);
+    Time min_rto = Milliseconds(200);  // Linux-style floor
+    Time max_rto = Seconds(60);
+  };
+
+  RttEstimator() : RttEstimator(Params()) {}
+  explicit RttEstimator(Params params) : params_(params), rto_(params.initial_rto) {}
+
+  void on_sample(Time rtt);
+
+  // Exponential backoff after a retransmission timeout (Karn's algorithm).
+  void backoff();
+
+  [[nodiscard]] Time rto() const { return rto_; }
+  [[nodiscard]] Time srtt() const { return srtt_; }
+  [[nodiscard]] Time rttvar() const { return rttvar_; }
+  [[nodiscard]] Time min_rtt() const { return min_rtt_; }
+  [[nodiscard]] bool has_sample() const { return has_sample_; }
+
+ private:
+  void clamp_rto();
+
+  Params params_;
+  Time srtt_ = Time::zero();
+  Time rttvar_ = Time::zero();
+  Time min_rtt_ = Time::max();
+  Time rto_;
+  bool has_sample_ = false;
+};
+
+}  // namespace cebinae

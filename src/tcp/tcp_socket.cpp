@@ -1,0 +1,476 @@
+#include "tcp/tcp_socket.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "sim/logging.hpp"
+
+namespace cebinae {
+
+// ---------------------------------------------------------------------------
+// TcpReceiver
+// ---------------------------------------------------------------------------
+
+TcpReceiver::TcpReceiver(Scheduler& sched, Node& local, FlowId data_flow)
+    : sched_(sched), local_(local), data_flow_(data_flow) {
+  assert(data_flow_.dst == local_.id());
+  local_.bind(data_flow_.dst_port, *this);
+}
+
+TcpReceiver::~TcpReceiver() { local_.unbind(data_flow_.dst_port); }
+
+std::uint64_t TcpReceiver::ooo_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [seq, end] : ooo_) total += end - seq;
+  return total;
+}
+
+void TcpReceiver::deliver(const Packet& pkt) {
+  if (pkt.kind != Packet::Kind::kTcpData) return;
+  if (pkt.ce) ece_pending_ = true;
+
+  const std::uint64_t seq = pkt.seq;
+  const std::uint64_t end = pkt.seq_end();
+
+  if (end <= rcv_nxt_) {
+    // Pure duplicate; still ACK to keep the sender's clock going.
+    send_ack(pkt);
+    return;
+  }
+
+  if (seq <= rcv_nxt_) {
+    // In-order (possibly partially duplicate) data.
+    rcv_nxt_ = end;
+    // Drain any out-of-order intervals now contiguous.
+    auto it = ooo_.begin();
+    while (it != ooo_.end() && it->first <= rcv_nxt_) {
+      rcv_nxt_ = std::max(rcv_nxt_, it->second);
+      it = ooo_.erase(it);
+    }
+  } else {
+    // Out of order: insert [seq, end) into the interval set, merging overlaps.
+    auto [it, inserted] = ooo_.emplace(seq, end);
+    if (!inserted) {
+      it->second = std::max(it->second, end);
+    }
+    // Merge backward with a predecessor that overlaps us.
+    if (it != ooo_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= it->first) {
+        prev->second = std::max(prev->second, it->second);
+        ooo_.erase(it);
+        it = prev;
+      }
+    }
+    // Merge forward.
+    auto next = std::next(it);
+    while (next != ooo_.end() && next->first <= it->second) {
+      it->second = std::max(it->second, next->second);
+      next = ooo_.erase(next);
+    }
+    latest_block_ = Packet::SackBlock{it->first, it->second};
+  }
+
+  const std::uint64_t newly = rcv_nxt_ - delivered_bytes_;
+  if (newly > 0) {
+    delivered_bytes_ = rcv_nxt_;
+    if (on_delivery_) on_delivery_(data_flow_, newly, sched_.now());
+  }
+  send_ack(pkt);
+}
+
+void TcpReceiver::send_ack(const Packet& data_pkt) {
+  Packet ack;
+  ack.flow = data_flow_.reversed();
+  ack.kind = Packet::Kind::kTcpAck;
+  ack.size_bytes = kAckBytes;
+  ack.ack = rcv_nxt_;
+  ack.ts_echo = data_pkt.ts_sent;
+  ack.ece = ece_pending_;
+  // SACK option: the block containing the most recent arrival first
+  // (RFC 2018), then older ranges in rotation so the whole out-of-order map
+  // is eventually advertised even when it has many holes.
+  if (latest_block_.end > rcv_nxt_ && latest_block_.end > latest_block_.begin) {
+    ack.sack[ack.sack_count++] =
+        Packet::SackBlock{std::max(latest_block_.begin, rcv_nxt_), latest_block_.end};
+  }
+  if (!ooo_.empty()) {
+    auto it = ooo_.lower_bound(sack_rotation_seq_);
+    for (std::size_t i = 0; i < ooo_.size() && ack.sack_count < ack.sack.size(); ++i) {
+      if (it == ooo_.end()) it = ooo_.begin();
+      if (it->first != latest_block_.begin) {
+        ack.sack[ack.sack_count++] = Packet::SackBlock{it->first, it->second};
+      }
+      ++it;
+    }
+    sack_rotation_seq_ = it == ooo_.end() ? 0 : it->first;
+  }
+  ece_pending_ = false;
+  ++acks_sent_;
+  local_.send(std::move(ack));
+}
+
+// ---------------------------------------------------------------------------
+// TcpSender
+// ---------------------------------------------------------------------------
+
+TcpSender::TcpSender(Scheduler& sched, Node& local, std::unique_ptr<CongestionControl> cc,
+                     Config config)
+    : sched_(sched), local_(local), cc_(std::move(cc)), config_(config) {
+  assert(config_.flow.src == local_.id());
+  assert(cc_ != nullptr);
+  local_.bind(config_.flow.src_port, *this);
+}
+
+TcpSender::~TcpSender() {
+  sched_.cancel(rto_timer_);
+  sched_.cancel(pacing_timer_);
+  local_.unbind(config_.flow.src_port);
+}
+
+void TcpSender::start() {
+  sched_.schedule_at(config_.start_time, [this] {
+    started_ = true;
+    try_send();
+  });
+}
+
+std::uint64_t TcpSender::send_window() const {
+  return std::min(cc_->cwnd_bytes() + recovery_extra_, config_.rcv_wnd);
+}
+
+void TcpSender::process_sack(const Packet& ack) {
+  if (!config_.sack || ack.sack_count == 0) return;
+  for (std::uint8_t b = 0; b < ack.sack_count; ++b) {
+    const auto& block = ack.sack[b];
+    // unacked_ is sorted by seq; locate the block's range.
+    auto it = std::lower_bound(unacked_.begin(), unacked_.end(), block.begin,
+                               [](const SegMeta& m, std::uint64_t seq) { return m.seq < seq; });
+    for (; it != unacked_.end() && it->seq + it->len <= block.end; ++it) {
+      if (!it->sacked) {
+        it->sacked = true;
+        sacked_bytes_ += it->len;
+        // SACKed bytes are delivered bytes (Linux counts them in
+        // tp->delivered at SACK time, which keeps rate samples honest when a
+        // later cumulative ACK jumps over them).
+        delivered_ += it->len;
+        delivered_stamp_ = sched_.now();
+        if (loss_mode_ == LossMode::kFastRecovery) prr_delivered_ += it->len;
+        if (it->counted_lost) {
+          it->counted_lost = false;
+          lost_bytes_ -= it->len;
+        }
+      }
+    }
+    highest_sacked_ = std::max(highest_sacked_, block.end);
+  }
+
+  // Mark newly revealed holes as lost: unSACKed segments below the highest
+  // SACK have (with no reordering in this network) left the network.
+  if (highest_sacked_ > lost_scan_seq_) {
+    const std::uint64_t from = std::max(lost_scan_seq_, snd_una_);
+    auto it = std::lower_bound(unacked_.begin(), unacked_.end(), from,
+                               [](const SegMeta& m, std::uint64_t seq) { return m.seq < seq; });
+    for (; it != unacked_.end() && it->seq + it->len <= highest_sacked_; ++it) {
+      if (!it->sacked && !it->retransmitted && !it->counted_lost) {
+        it->counted_lost = true;
+        lost_bytes_ += it->len;
+      }
+    }
+    lost_scan_seq_ = highest_sacked_;
+  }
+}
+
+bool TcpSender::retransmit_hole() {
+  for (SegMeta& m : unacked_) {
+    if (m.sacked || m.retransmitted) continue;
+    if (!m.counted_lost) return false;  // ordered: no further known losses
+    // The retransmission puts the segment back into the network.
+    m.counted_lost = false;
+    lost_bytes_ -= m.len;
+    m.sent_time = sched_.now();
+    m.delivered_at_send = delivered_;
+    m.delivered_stamp_at_send = delivered_stamp_;
+    m.retransmitted = true;
+    ++retransmissions_;
+    send_segment(m.seq, m.len, /*is_retransmission=*/true);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t TcpSender::prr_budget() const {
+  if (loss_mode_ != LossMode::kFastRecovery) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t target = cc_->cwnd_bytes();
+  const std::uint64_t pipe = pipe_bytes();
+  if (pipe > target) {
+    // Proportional phase: shrink the pipe toward the reduced window at the
+    // rate data leaves the network.
+    const std::uint64_t allowed =
+        prr_delivered_ * target / std::max<std::uint64_t>(recover_fs_, 1);
+    return allowed > prr_out_ ? allowed - prr_out_ : 0;
+  }
+  // Slow-start reduction bound: refill toward the window, at least one
+  // segment per delivery.
+  const std::uint64_t grow = prr_delivered_ > prr_out_ ? prr_delivered_ - prr_out_ : 0;
+  return std::min<std::uint64_t>(target - pipe,
+                                 std::max<std::uint64_t>(grow, config_.mss));
+}
+
+void TcpSender::repair_holes() {
+  while (true) {
+    if (loss_mode_ == LossMode::kFastRecovery) {
+      if (prr_budget() < config_.mss) return;
+    } else if (pipe_bytes() + config_.mss > send_window()) {
+      return;
+    }
+    if (!retransmit_hole()) return;
+  }
+}
+
+void TcpSender::mark_all_lost() {
+  // RTO semantics (like Linux's CA_Loss): every outstanding unSACKed
+  // segment is presumed gone from the network and eligible for
+  // retransmission in the new episode.
+  sacked_bytes_ = 0;
+  lost_bytes_ = 0;
+  for (SegMeta& m : unacked_) {
+    m.retransmitted = false;
+    if (m.sacked) {
+      m.counted_lost = false;
+      sacked_bytes_ += m.len;
+    } else {
+      m.counted_lost = true;
+      lost_bytes_ += m.len;
+    }
+  }
+}
+
+bool TcpSender::demand_exhausted() const {
+  return snd_nxt_ >= config_.bytes_to_send || sched_.now() > config_.stop_time;
+}
+
+void TcpSender::try_send() {
+  if (!started_) return;
+  const double pacing = cc_->pacing_rate_Bps();
+
+  while (!demand_exhausted()) {
+    const std::uint64_t wnd = send_window();
+    // With SACK, gate on the pipe estimate (SACKed bytes left the network);
+    // without it, rely on classic dup-ACK window inflation.
+    const std::uint64_t in_flight = config_.sack ? pipe_bytes() : bytes_in_flight();
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(config_.mss, config_.bytes_to_send - snd_nxt_));
+    if (in_flight + len > wnd) return;
+    if (loss_mode_ == LossMode::kFastRecovery && len > prr_budget()) return;
+
+    if (pacing > 0.0) {
+      const Time now = sched_.now();
+      if (now < next_pacing_gate_) {
+        sched_.cancel(pacing_timer_);
+        pacing_timer_ = sched_.schedule_at(next_pacing_gate_, [this] { try_send(); });
+        return;
+      }
+      const Time spacing(static_cast<std::int64_t>(
+          static_cast<double>(len + kHeaderBytes) * 1e9 / pacing));
+      next_pacing_gate_ = std::max(now, next_pacing_gate_) + spacing;
+    }
+
+    send_segment(snd_nxt_, len, /*is_retransmission=*/false);
+    snd_nxt_ += len;
+  }
+}
+
+void TcpSender::send_segment(std::uint64_t seq, std::uint32_t len, bool is_retransmission) {
+  Packet pkt;
+  pkt.flow = config_.flow;
+  pkt.kind = Packet::Kind::kTcpData;
+  pkt.payload_bytes = len;
+  pkt.size_bytes = len + kHeaderBytes;
+  pkt.seq = seq;
+  pkt.ts_sent = sched_.now();
+  pkt.ect = config_.ecn_capable;
+
+  total_sent_bytes_ += len;
+  if (loss_mode_ == LossMode::kFastRecovery) prr_out_ += len;
+  last_send_time_ = sched_.now();
+  if (!is_retransmission) {
+    unacked_.push_back(
+        SegMeta{seq, len, sched_.now(), delivered_, delivered_stamp_, false, false, false});
+  }
+  if (!rto_timer_.valid()) arm_rto();
+  local_.send(std::move(pkt));
+}
+
+void TcpSender::retransmit_front() {
+  if (unacked_.empty()) return;
+  SegMeta& m = unacked_.front();
+  m.sent_time = sched_.now();
+  m.delivered_at_send = delivered_;
+  m.delivered_stamp_at_send = delivered_stamp_;
+  m.retransmitted = true;
+  ++retransmissions_;
+  send_segment(m.seq, m.len, /*is_retransmission=*/true);
+}
+
+void TcpSender::arm_rto() {
+  sched_.cancel(rto_timer_);
+  rto_timer_ = sched_.schedule(rtt_.rto(), [this] { on_rto_fire(); });
+}
+
+void TcpSender::disarm_rto() {
+  sched_.cancel(rto_timer_);
+  rto_timer_ = EventId();
+}
+
+void TcpSender::deliver(const Packet& pkt) {
+  if (pkt.kind != Packet::Kind::kTcpAck) return;
+  process_sack(pkt);
+  if (pkt.ack > snd_una_) {
+    on_new_ack(pkt);
+  } else if (snd_nxt_ > snd_una_) {
+    if (pkt.ece) pending_ece_ = true;
+    on_dup_ack();
+  }
+}
+
+void TcpSender::on_new_ack(const Packet& ack) {
+  const Time now = sched_.now();
+  const std::uint64_t newly = ack.ack - snd_una_;
+  snd_una_ = ack.ack;
+
+  // Release fully-acknowledged segment metadata; remember the most recent
+  // one for the delivery-rate sample (BBR).
+  double rate_sample = 0.0;
+  while (!unacked_.empty() && unacked_.front().seq + unacked_.front().len <= snd_una_) {
+    const SegMeta& m = unacked_.front();
+    if (m.sacked) {
+      sacked_bytes_ -= m.len;  // already counted as delivered at SACK time
+    } else {
+      delivered_ += m.len;
+      delivered_stamp_ = now;
+      if (loss_mode_ == LossMode::kFastRecovery) prr_delivered_ += m.len;
+    }
+    if (m.counted_lost) lost_bytes_ -= m.len;
+    // Linux-style rate sample: bytes delivered since this segment was sent,
+    // over the interval since the delivery event preceding its transmission
+    // (burst-compressed send times would otherwise overestimate). Karn's
+    // rule: retransmitted segments give no sample.
+    if (!m.retransmitted && now > m.delivered_stamp_at_send) {
+      rate_sample = static_cast<double>(delivered_ - m.delivered_at_send) /
+                    (now - m.delivered_stamp_at_send).seconds();
+    }
+    unacked_.pop_front();
+  }
+  if (unacked_.empty()) {
+    sacked_bytes_ = 0;
+    lost_bytes_ = 0;
+    highest_sacked_ = 0;
+  }
+
+  // RTT sample from the timestamp echo (valid even across retransmissions,
+  // since the echo corresponds to an actual arrival).
+  const Time rtt_sample = now - ack.ts_echo;
+  if (rtt_sample > Time::zero()) rtt_.on_sample(rtt_sample);
+
+  dup_acks_ = 0;
+  recovery_extra_ = 0;
+
+  if (in_recovery()) {
+    if (snd_una_ >= recover_) {
+      loss_mode_ = LossMode::kNone;
+    } else if (config_.sack) {
+      // Partial ACK: repair as many holes as the pipe allows.
+      repair_holes();
+    } else {
+      // NewReno partial ACK: the next hole is lost too; retransmit it
+      // immediately without leaving recovery.
+      retransmit_front();
+    }
+  }
+
+  const bool round_start = snd_una_ >= round_end_seq_;
+  if (round_start) {
+    round_end_seq_ = snd_nxt_;
+    ++round_count_;
+  }
+
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_bytes = newly;
+  ev.rtt = rtt_sample > Time::zero() ? rtt_sample : Time::zero();
+  ev.bytes_in_flight = bytes_in_flight();
+  ev.delivered = delivered_;
+  ev.delivery_rate_Bps = rate_sample;
+  ev.ece = ack.ece || pending_ece_;
+  ev.round_start = round_start;
+  // Fast recovery freezes the window; RTO recovery slow-starts (CA_Loss).
+  ev.in_recovery = loss_mode_ == LossMode::kFastRecovery;
+  ev.min_rtt = rtt_.has_sample() ? rtt_.min_rtt() : Time::zero();
+  pending_ece_ = false;
+  cc_->on_ack(ev);
+
+  if (unacked_.empty()) {
+    disarm_rto();
+  } else {
+    arm_rto();
+  }
+  try_send();
+}
+
+void TcpSender::on_dup_ack() {
+  ++dup_acks_;
+  if (in_recovery()) {
+    if (config_.sack) {
+      // Returning ACKs free pipe space; repair holes up to the window.
+      repair_holes();
+    } else {
+      // Window inflation stand-in: each dup ACK signals a departed packet,
+      // permitting one more transmission (packet conservation).
+      recovery_extra_ += config_.mss;
+    }
+  } else if (dup_acks_ == 3) {
+    loss_mode_ = LossMode::kFastRecovery;
+    recover_ = snd_nxt_;
+    ++fast_retransmits_;
+    cc_->on_loss(sched_.now(), bytes_in_flight());
+    prr_delivered_ = 0;
+    prr_out_ = 0;
+    recover_fs_ = std::max<std::uint64_t>(bytes_in_flight(), config_.mss);
+    if (config_.sack) {
+      if (!retransmit_hole()) retransmit_front();
+      repair_holes();
+    } else {
+      retransmit_front();
+    }
+  }
+  try_send();
+}
+
+void TcpSender::on_rto_fire() {
+  rto_timer_ = EventId();
+  if (unacked_.empty()) return;
+  ++rto_count_;
+  CEBINAE_DEBUG("tcp", "RTO on flow " << config_.flow << " at " << sched_.now());
+  cc_->on_rto(sched_.now());
+  rtt_.backoff();
+  dup_acks_ = 0;
+  recovery_extra_ = 0;
+  if (config_.sack) {
+    // Enter loss recovery: everything unSACKed is lost; holes are repaired
+    // ACK-clocked as the (collapsed) window regrows.
+    mark_all_lost();
+    loss_mode_ = LossMode::kRtoRecovery;
+    recover_ = snd_nxt_;
+    retransmit_hole();
+  } else {
+    loss_mode_ = LossMode::kNone;
+    retransmit_front();
+  }
+  arm_rto();
+}
+
+}  // namespace cebinae

@@ -1,0 +1,86 @@
+// Shared base for window-based (loss/ECN reactive) congestion control:
+// slow start, ECE handling with a once-per-RTT reduction guard, and the
+// common RTO response. Subclasses supply the congestion-avoidance increase
+// rule and the multiplicative-decrease rule.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "net/packet.hpp"
+#include "tcp/congestion_control.hpp"
+
+namespace cebinae {
+
+class WindowCc : public CongestionControl {
+ public:
+  [[nodiscard]] std::uint64_t cwnd_bytes() const final { return cwnd_; }
+  [[nodiscard]] bool in_slow_start() const final { return cwnd_ < ssthresh_; }
+
+  void on_ack(const AckEvent& ev) final {
+    // No window growth while repairing losses (Linux: cong_avoid is not
+    // called in CA_Recovery/CA_Loss).
+    if (ev.in_recovery) return;
+    if (ev.ece && can_reduce(ev)) {
+      // ECN congestion echo: multiplicative decrease without retransmission.
+      last_reduction_ = ev.now;
+      reduce(ev.now);
+      return;
+    }
+    if (in_slow_start()) {
+      on_slow_start_ack(ev);  // may exit slow start (e.g., HyStart)
+      if (in_slow_start()) {
+        cwnd_ += std::min<std::uint64_t>(ev.acked_bytes, 2 * mss_);
+        clamp();
+        return;
+      }
+    }
+    congestion_avoidance(ev);
+    clamp();
+  }
+
+  void on_loss(Time now, std::uint64_t /*bytes_in_flight*/) override {
+    last_reduction_ = now;
+    reduce(now);
+    clamp();
+  }
+
+  void on_rto(Time now) override {
+    last_reduction_ = now;
+    ssthresh_ = std::max<std::uint64_t>(cwnd_ / 2, 2 * mss_);
+    cwnd_ = mss_;
+    on_timeout_reset(now);
+  }
+
+ protected:
+  explicit WindowCc(std::uint32_t mss, std::uint32_t initial_window_segments = 10)
+      : mss_(mss), cwnd_(static_cast<std::uint64_t>(mss) * initial_window_segments) {}
+
+  // Additive-increase step while cwnd >= ssthresh.
+  virtual void congestion_avoidance(const AckEvent& ev) = 0;
+
+  // Hook invoked on every slow-start ACK before the exponential increase;
+  // implementations may lower ssthresh_ to terminate slow start early.
+  virtual void on_slow_start_ack(const AckEvent& /*ev*/) {}
+
+  // Multiplicative decrease on loss/ECN; must update cwnd_ and ssthresh_.
+  virtual void reduce(Time now) = 0;
+
+  // Extra state reset after an RTO (e.g., Cubic clears its epoch).
+  virtual void on_timeout_reset(Time /*now*/) {}
+
+  void clamp() { cwnd_ = std::max<std::uint64_t>(cwnd_, 2 * mss_); }
+
+  [[nodiscard]] bool can_reduce(const AckEvent& ev) const {
+    // At most one reduction per RTT so a burst of marks is a single signal.
+    const Time guard = ev.rtt > Time::zero() ? ev.rtt : Milliseconds(10);
+    return ev.now - last_reduction_ >= guard;
+  }
+
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_ = std::numeric_limits<std::uint64_t>::max();
+  Time last_reduction_ = Time::zero();
+};
+
+}  // namespace cebinae

@@ -1,0 +1,81 @@
+// Kathleen Nichols' windowed min/max filter, as used by Linux/BBR.
+//
+// Tracks the best (max or min) sample seen over a sliding window together
+// with second- and third-best candidates so the estimate degrades gracefully
+// as old samples age out.
+#pragma once
+
+#include <cstdint>
+
+namespace cebinae {
+
+template <typename ValueT, typename TimeT, typename Compare>
+class WindowedFilter {
+ public:
+  explicit WindowedFilter(TimeT window_length) : window_length_(window_length) {}
+
+  void reset(ValueT value, TimeT now) {
+    best_[0] = best_[1] = best_[2] = Sample{value, now};
+  }
+
+  void update(ValueT value, TimeT now) {
+    if (best_[0].time == TimeT{} || Compare{}(value, best_[0].value) ||
+        now - best_[2].time > window_length_) {
+      reset(value, now);
+      return;
+    }
+    if (Compare{}(value, best_[1].value)) {
+      best_[1] = best_[2] = Sample{value, now};
+    } else if (Compare{}(value, best_[2].value)) {
+      best_[2] = Sample{value, now};
+    }
+
+    // Expire the front estimate when it falls out of the window.
+    if (now - best_[0].time > window_length_) {
+      best_[0] = best_[1];
+      best_[1] = best_[2];
+      best_[2] = Sample{value, now};
+      if (now - best_[0].time > window_length_) {
+        best_[0] = best_[1];
+        best_[1] = best_[2];
+      }
+      return;
+    }
+
+    // Refresh stale runners-up so they do not pin obsolete values.
+    if (best_[1].value == best_[0].value && now - best_[1].time > window_length_ / 4) {
+      best_[1] = best_[2] = Sample{value, now};
+      return;
+    }
+    if (best_[2].value == best_[1].value && now - best_[2].time > window_length_ / 2) {
+      best_[2] = Sample{value, now};
+    }
+  }
+
+  [[nodiscard]] ValueT get() const { return best_[0].value; }
+  [[nodiscard]] TimeT get_time() const { return best_[0].time; }
+
+ private:
+  struct Sample {
+    ValueT value{};
+    TimeT time{};
+  };
+
+  TimeT window_length_;
+  Sample best_[3];
+};
+
+struct MaxCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a >= b;
+  }
+};
+struct MinCompare {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a <= b;
+  }
+};
+
+}  // namespace cebinae

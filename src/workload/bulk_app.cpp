@@ -1,0 +1,28 @@
+#include "workload/bulk_app.hpp"
+
+namespace cebinae {
+
+BulkFlow::BulkFlow(Network& net, Node& src, Node& dst, const Spec& spec,
+                   FlowStatsCollector* stats) {
+  FlowId flow{src.id(), dst.id(), spec.port, spec.port};
+
+  TcpSender::Config cfg;
+  cfg.flow = flow;
+  cfg.start_time = spec.start_time;
+  cfg.stop_time = spec.stop_time;
+  cfg.bytes_to_send = spec.bytes_to_send;
+  cfg.ecn_capable = spec.ecn;
+
+  sender_ = std::make_unique<TcpSender>(net.scheduler(), src, make_cc(spec.cca), cfg);
+  receiver_ = std::make_unique<TcpReceiver>(net.scheduler(), dst, flow);
+
+  if (stats != nullptr) {
+    stats->register_flow(flow);
+    receiver_->set_delivery_callback(
+        [stats](const FlowId& f, std::uint64_t bytes, Time now) {
+          stats->on_delivery(f, bytes, now);
+        });
+  }
+}
+
+}  // namespace cebinae

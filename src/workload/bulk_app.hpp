@@ -1,0 +1,41 @@
+// Bulk-transfer TCP application: the paper's long-lived infinite-demand
+// flow. Bundles a sender/receiver pair and wires goodput accounting.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "metrics/flow_stats.hpp"
+#include "net/network.hpp"
+#include "tcp/cc_factory.hpp"
+#include "tcp/tcp_socket.hpp"
+
+namespace cebinae {
+
+class BulkFlow {
+ public:
+  struct Spec {
+    CcaType cca = CcaType::kNewReno;
+    Time start_time;
+    Time stop_time = Time::max();
+    std::uint64_t bytes_to_send = std::numeric_limits<std::uint64_t>::max();
+    bool ecn = false;
+    std::uint16_t port = 5000;
+  };
+
+  // Creates the endpoints on `src`/`dst` (which must already be routable)
+  // and registers the flow with `stats` when provided. Call start() to arm.
+  BulkFlow(Network& net, Node& src, Node& dst, const Spec& spec, FlowStatsCollector* stats);
+
+  void start() { sender_->start(); }
+
+  [[nodiscard]] const FlowId& id() const { return sender_->flow(); }
+  [[nodiscard]] TcpSender& sender() { return *sender_; }
+  [[nodiscard]] TcpReceiver& receiver() { return *receiver_; }
+
+ private:
+  std::unique_ptr<TcpSender> sender_;
+  std::unique_ptr<TcpReceiver> receiver_;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,49 @@
+// Synthetic backbone-trace generator (substitution for the CAIDA traces of
+// Fig. 13).
+//
+// Emits a time-ordered packet stream with the statistical properties that
+// drive heavy-hitter detection accuracy on an ISP backbone link: Poisson
+// flow arrivals at a configurable rate, heavy-tailed (bounded-Pareto)
+// per-flow rates, exponential flow lifetimes, and bimodal packet sizes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace cebinae {
+
+struct TracePacket {
+  Time time;
+  FlowId flow;
+  std::uint32_t bytes = 0;
+};
+
+struct TraceConfig {
+  Time duration = Seconds(5);
+  double flow_arrivals_per_sec = 7000;  // ~420k flows/min, as in Fig. 13
+  double mean_flow_lifetime_s = 0.5;
+  double pareto_shape = 1.2;            // flow-rate heavy tail
+  double min_flow_rate_bps = 20e3;
+  double max_flow_rate_bps = 2e9;       // cap so one flow can't exceed the link
+  std::uint64_t seed = 42;
+};
+
+struct TraceSummary {
+  std::uint64_t packets = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t flows = 0;
+};
+
+class SyntheticTrace {
+ public:
+  // Generates the full stream, sorted by timestamp.
+  [[nodiscard]] static std::vector<TracePacket> generate(const TraceConfig& config);
+
+  [[nodiscard]] static TraceSummary summarize(const std::vector<TracePacket>& trace);
+};
+
+}  // namespace cebinae

@@ -1,0 +1,49 @@
+#include "workload/udp_app.hpp"
+
+#include <cassert>
+
+namespace cebinae {
+
+OnOffUdpSender::OnOffUdpSender(Scheduler& sched, Node& local, Spec spec)
+    : sched_(sched), local_(local), spec_(spec) {
+  assert(spec_.rate_bps > 0);
+  interval_ = Time(static_cast<std::int64_t>(static_cast<double>(spec_.packet_bytes) * 8.0 *
+                                             1e9 / spec_.rate_bps));
+}
+
+OnOffUdpSender::~OnOffUdpSender() {
+  sched_.cancel(send_event_);
+  sched_.cancel(toggle_event_);
+}
+
+void OnOffUdpSender::start() {
+  sched_.schedule_at(spec_.start_time, [this] {
+    on_ = true;
+    send_one();
+    if (spec_.on_duration != Time::max()) {
+      toggle_event_ = sched_.schedule(spec_.on_duration, [this] { toggle(); });
+    }
+  });
+}
+
+void OnOffUdpSender::toggle() {
+  on_ = !on_;
+  const Time dwell = on_ ? spec_.on_duration : spec_.off_duration;
+  if (on_) send_one();
+  toggle_event_ = sched_.schedule(dwell, [this] { toggle(); });
+}
+
+void OnOffUdpSender::send_one() {
+  if (!on_ || sched_.now() > spec_.stop_time) return;
+  Packet pkt;
+  pkt.flow = spec_.flow;
+  pkt.kind = Packet::Kind::kUdp;
+  pkt.size_bytes = spec_.packet_bytes;
+  pkt.payload_bytes = spec_.packet_bytes - kHeaderBytes;
+  pkt.ts_sent = sched_.now();
+  ++packets_sent_;
+  local_.send(std::move(pkt));
+  send_event_ = sched_.schedule(interval_, [this] { send_one(); });
+}
+
+}  // namespace cebinae

@@ -1,0 +1,36 @@
+// Shared helpers for congestion-control unit tests: drive a CCA with
+// synthetic ACK streams without a full socket.
+#pragma once
+
+#include "tcp/congestion_control.hpp"
+
+namespace cebinae {
+
+inline AckEvent make_ack(Time now, std::uint64_t acked_bytes, Time rtt,
+                         bool round_start = false, std::uint64_t bytes_in_flight = 0) {
+  AckEvent ev;
+  ev.now = now;
+  ev.acked_bytes = acked_bytes;
+  ev.rtt = rtt;
+  ev.round_start = round_start;
+  ev.bytes_in_flight = bytes_in_flight;
+  ev.min_rtt = rtt;
+  return ev;
+}
+
+// Feed one RTT "round" of per-packet ACKs: enough ACKs of `mss` bytes to
+// cover the current window, with the first ACK flagged round_start.
+inline Time feed_round(CongestionControl& cc, Time now, Time rtt, std::uint32_t mss) {
+  const std::uint64_t window = cc.cwnd_bytes();
+  const std::uint64_t acks = window / mss;
+  const Time spacing = acks > 0 ? rtt / static_cast<std::int64_t>(acks) : rtt;
+  Time t = now;
+  for (std::uint64_t i = 0; i < acks; ++i) {
+    AckEvent ev = make_ack(t, mss, rtt, /*round_start=*/i == 0, cc.cwnd_bytes());
+    cc.on_ack(ev);
+    t += spacing;
+  }
+  return now + rtt;
+}
+
+}  // namespace cebinae

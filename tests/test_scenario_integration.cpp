@@ -1,0 +1,185 @@
+// End-to-end integration tests: full scenarios through the runner, asserting
+// the qualitative behaviors the paper's evaluation is built on.
+#include "runner/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metrics/jfi.hpp"
+
+namespace cebinae {
+namespace {
+
+ScenarioConfig base_config(QdiscKind qdisc) {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = 50'000'000;
+  cfg.buffer_bytes = 256ull * kMtuBytes;
+  cfg.qdisc = qdisc;
+  cfg.duration = Seconds(15);
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(ScenarioIntegration, SingleFlowSaturatesFifoBottleneck) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.flows = flows_of(CcaType::kNewReno, 1, Milliseconds(20));
+  ScenarioResult r = Scenario(cfg).run();
+  EXPECT_GT(r.total_goodput_Bps * 8, 0.88 * 50e6);
+  EXPECT_LE(r.throughput_Bps[0] * 8, 50e6 * 1.001);
+}
+
+TEST(ScenarioIntegration, TwoEqualFlowsShareFairlyUnderFifo) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(20));
+  ScenarioResult r = Scenario(cfg).run();
+  EXPECT_GT(r.jfi, 0.9);
+}
+
+TEST(ScenarioIntegration, RttAsymmetryIsUnfairUnderFifo) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(20));
+  cfg.flows[1].rtt = Milliseconds(120);
+  ScenarioResult r = Scenario(cfg).run();
+  // The short-RTT flow dominates.
+  EXPECT_GT(r.goodput_Bps[0], 1.5 * r.goodput_Bps[1]);
+}
+
+TEST(ScenarioIntegration, FqCodelEqualizesRttAsymmetry) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFqCoDel);
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(20));
+  cfg.flows[1].rtt = Milliseconds(120);
+  ScenarioResult r = Scenario(cfg).run();
+  EXPECT_GT(r.jfi, 0.9);
+}
+
+TEST(ScenarioIntegration, CebinaeImprovesRttUnfairness) {
+  ScenarioConfig fifo_cfg = base_config(QdiscKind::kFifo);
+  fifo_cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(20));
+  fifo_cfg.flows[1].rtt = Milliseconds(120);
+  fifo_cfg.duration = Seconds(30);
+  ScenarioResult fifo = Scenario(fifo_cfg).run();
+
+  ScenarioConfig ceb_cfg = fifo_cfg;
+  ceb_cfg.qdisc = QdiscKind::kCebinae;
+  ScenarioResult ceb = Scenario(ceb_cfg).run();
+
+  EXPECT_GT(ceb.jfi, fifo.jfi);
+  // Efficiency stays high despite the tax.
+  EXPECT_GT(ceb.total_goodput_Bps, 0.85 * fifo.total_goodput_Bps);
+}
+
+TEST(ScenarioIntegration, CebinaeTaxesVegasStarvation) {
+  // 8 Vegas vs 1 NewReno (scaled-down Fig. 7): FIFO starves Vegas badly;
+  // Cebinae must improve the fairness index substantially.
+  ScenarioConfig fifo_cfg = base_config(QdiscKind::kFifo);
+  fifo_cfg.flows = flows_of(CcaType::kVegas, 8, Milliseconds(40));
+  fifo_cfg.flows.push_back(FlowSpec{CcaType::kNewReno, Milliseconds(40)});
+  fifo_cfg.duration = Seconds(30);
+  ScenarioResult fifo = Scenario(fifo_cfg).run();
+
+  ScenarioConfig ceb_cfg = fifo_cfg;
+  ceb_cfg.qdisc = QdiscKind::kCebinae;
+  ScenarioResult ceb = Scenario(ceb_cfg).run();
+
+  EXPECT_LT(fifo.jfi, 0.65);  // documented starvation under FIFO
+  EXPECT_GT(ceb.jfi, fifo.jfi + 0.1);
+}
+
+TEST(ScenarioIntegration, CebinaeAgentObservesSaturation) {
+  ScenarioConfig cfg = base_config(QdiscKind::kCebinae);
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(20));
+  Scenario scenario(cfg);
+  scenario.run();
+  CebinaeAgent* agent = scenario.agent(0);
+  ASSERT_NE(agent, nullptr);
+  EXPECT_GT(agent->rotations(), 0u);
+  EXPECT_GT(agent->recomputations(), 0u);
+  // Long-lived greedy flows saturate the link.
+  EXPECT_TRUE(agent->snapshot().saturated);
+  EXPECT_FALSE(agent->snapshot().top_flows.empty());
+}
+
+TEST(ScenarioIntegration, DerivedCebinaeParamsSatisfyEq2) {
+  ScenarioConfig cfg = base_config(QdiscKind::kCebinae);
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(100));
+  Scenario scenario(cfg);
+  const CebinaeParams& p = scenario.effective_cebinae_params();
+  const double drain_s = static_cast<double>(cfg.buffer_bytes) * 8.0 /
+                         static_cast<double>(cfg.bottleneck_bps);
+  EXPECT_GE(p.dt.seconds(), drain_s);                       // Eq. 2
+  EXPECT_GE((p.dt * p.p_rounds).seconds(), 0.1);            // covers max RTT
+  EXPECT_EQ(p.dt.ns() & (p.dt.ns() - 1), 0);                // power of two
+}
+
+TEST(ScenarioIntegration, ParkingLotIdealMatchesWaterFilling) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.chain_links = 3;
+  // 2 end-to-end flows + 2 local flows on the middle link.
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(40));
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec local{CcaType::kNewReno, Milliseconds(20)};
+    local.enter = 1;
+    local.exit = 2;
+    cfg.flows.push_back(local);
+  }
+  Scenario scenario(cfg);
+  const auto ideal = scenario.ideal_goodputs_Bps();
+  ASSERT_EQ(ideal.size(), 4u);
+  // All four contend on the middle link only: equal shares.
+  for (double r : ideal) EXPECT_NEAR(r, ideal[0], 1.0);
+}
+
+TEST(ScenarioIntegration, MultiBottleneckFlowsAreForwarded) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.chain_links = 2;
+  cfg.duration = Seconds(8);
+  cfg.flows = flows_of(CcaType::kNewReno, 1, Milliseconds(40));  // end-to-end
+  FlowSpec local{CcaType::kNewReno, Milliseconds(20)};
+  local.enter = 1;
+  local.exit = 2;
+  cfg.flows.push_back(local);
+  ScenarioResult r = Scenario(cfg).run();
+  EXPECT_GT(r.goodput_Bps[0], 0.0);
+  EXPECT_GT(r.goodput_Bps[1], 0.0);
+  // Link 1 carries both flows; link 0 only the end-to-end flow.
+  EXPECT_GT(r.throughput_Bps[1], r.throughput_Bps[0]);
+}
+
+TEST(ScenarioIntegration, DeterministicAcrossRuns) {
+  ScenarioConfig cfg = base_config(QdiscKind::kCebinae);
+  cfg.duration = Seconds(5);
+  cfg.flows = flows_of(CcaType::kCubic, 3, Milliseconds(30));
+  ScenarioResult a = Scenario(cfg).run();
+  ScenarioResult b = Scenario(cfg).run();
+  ASSERT_EQ(a.goodput_Bps.size(), b.goodput_Bps.size());
+  for (std::size_t i = 0; i < a.goodput_Bps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.goodput_Bps[i], b.goodput_Bps[i]);
+  }
+}
+
+TEST(ScenarioIntegration, ProbesFireDuringRun) {
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.duration = Seconds(5);
+  cfg.flows = flows_of(CcaType::kNewReno, 1, Milliseconds(20));
+  Scenario scenario(cfg);
+  int fired = 0;
+  scenario.add_probe(Seconds(1), [&](Time) { ++fired; });
+  scenario.run();
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(ScenarioIntegration, BbrVsNewRenoIsUnfairUnderFifo) {
+  // Scaled-down Fig. 8a: BBR claims far more than its share against many
+  // NewReno flows.
+  ScenarioConfig cfg = base_config(QdiscKind::kFifo);
+  cfg.flows = flows_of(CcaType::kNewReno, 8, Milliseconds(40));
+  cfg.flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(40)});
+  cfg.duration = Seconds(20);
+  ScenarioResult r = Scenario(cfg).run();
+  const double fair_share = r.total_goodput_Bps / 9.0;
+  EXPECT_GT(r.goodput_Bps.back(), 1.5 * fair_share);
+}
+
+}  // namespace
+}  // namespace cebinae

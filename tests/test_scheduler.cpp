@@ -1,0 +1,142 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace cebinae {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), Time::zero());
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Milliseconds(30), [&] { order.push_back(3); });
+  s.schedule(Milliseconds(10), [&] { order.push_back(1); });
+  s.schedule(Milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Milliseconds(30));
+}
+
+TEST(Scheduler, TiesBreakInInsertionOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, NowAdvancesDuringExecution) {
+  Scheduler s;
+  Time seen = Time::zero();
+  s.schedule(Seconds(2), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Seconds(2));
+}
+
+TEST(Scheduler, ReentrantScheduling) {
+  Scheduler s;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 5) s.schedule(Milliseconds(1), tick);
+  };
+  s.schedule(Milliseconds(1), tick);
+  s.run();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), Milliseconds(5));
+}
+
+TEST(Scheduler, ZeroDelayRunsAfterCurrentEvent) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Milliseconds(1), [&] {
+    order.push_back(1);
+    s.schedule(Time::zero(), [&] { order.push_back(2); });
+    order.push_back(3);
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.schedule(Milliseconds(1), [&] { fired = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelDefaultIdIsNoop) {
+  Scheduler s;
+  s.cancel(EventId());  // must not crash or affect anything
+  bool fired = false;
+  s.schedule(Milliseconds(1), [&] { fired = true; });
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtLimit) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Milliseconds(10), [&] { order.push_back(1); });
+  s.schedule(Milliseconds(30), [&] { order.push_back(2); });
+  s.run_until(Milliseconds(20));
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(s.now(), Milliseconds(20));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Scheduler, RunUntilIncludesBoundary) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule(Milliseconds(20), [&] { fired = true; });
+  s.run_until(Milliseconds(20));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunUntilAdvancesClockEvenWhenIdle) {
+  Scheduler s;
+  s.run_until(Seconds(5));
+  EXPECT_EQ(s.now(), Seconds(5));
+}
+
+TEST(Scheduler, ExecutedEventCountExcludesCancelled) {
+  Scheduler s;
+  for (int i = 0; i < 3; ++i) s.schedule(Milliseconds(i + 1), [] {});
+  EventId id = s.schedule(Milliseconds(9), [] {});
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(s.executed_events(), 3u);
+}
+
+TEST(Scheduler, PendingEventsReflectsCancellations) {
+  Scheduler s;
+  EventId a = s.schedule(Milliseconds(1), [] {});
+  s.schedule(Milliseconds(2), [] {});
+  EXPECT_EQ(s.pending_events(), 2u);
+  s.cancel(a);
+  EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, ScheduleAtAbsoluteTime) {
+  Scheduler s;
+  Time seen = Time::zero();
+  s.schedule(Milliseconds(5), [&] {
+    s.schedule_at(Milliseconds(12), [&] { seen = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(seen, Milliseconds(12));
+}
+
+}  // namespace
+}  // namespace cebinae

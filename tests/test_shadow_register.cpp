@@ -1,0 +1,68 @@
+#include "control/shadow_register.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace cebinae {
+namespace {
+
+TEST(ShadowRegister, LiveWritesVisibleImmediately) {
+  ShadowRegisterArray<std::uint64_t> reg(4);
+  reg.at(2) = 42;
+  EXPECT_EQ(reg.at(2), 42u);
+  EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(ShadowRegister, SnapshotFreezesValues) {
+  ShadowRegisterArray<std::uint64_t> reg(2);
+  reg.at(0) = 10;
+  reg.at(1) = 20;
+  reg.snapshot();
+  // Data plane keeps writing after the snapshot...
+  reg.at(0) = 99;
+  reg.at(1) = 99;
+  // ...but the control plane reads the consistent capture.
+  EXPECT_EQ(reg.shadow_at(0), 10u);
+  EXPECT_EQ(reg.shadow_at(1), 20u);
+}
+
+TEST(ShadowRegister, StagedWritesInvisibleUntilCommit) {
+  ShadowRegisterArray<std::uint64_t> reg(2);
+  reg.stage_write(0, 7);
+  reg.stage_write(1, 8);
+  EXPECT_EQ(reg.at(0), 0u);
+  EXPECT_EQ(reg.staged_count(), 2u);
+  reg.commit();
+  EXPECT_EQ(reg.at(0), 7u);
+  EXPECT_EQ(reg.at(1), 8u);
+  EXPECT_EQ(reg.staged_count(), 0u);
+}
+
+TEST(ShadowRegister, AbortDiscardsStagedWrites) {
+  ShadowRegisterArray<std::uint64_t> reg(1);
+  reg.stage_write(0, 7);
+  reg.abort();
+  reg.commit();
+  EXPECT_EQ(reg.at(0), 0u);
+}
+
+TEST(ShadowRegister, CommitAppliesInStagingOrder) {
+  ShadowRegisterArray<std::uint64_t> reg(1);
+  reg.stage_write(0, 1);
+  reg.stage_write(0, 2);  // last staged write wins
+  reg.commit();
+  EXPECT_EQ(reg.at(0), 2u);
+}
+
+TEST(ShadowRegister, SnapshotVectorAccess) {
+  ShadowRegisterArray<int> reg(3);
+  reg.at(0) = 1;
+  reg.at(1) = 2;
+  reg.at(2) = 3;
+  reg.snapshot();
+  EXPECT_EQ(reg.shadow(), (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace cebinae

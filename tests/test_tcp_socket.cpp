@@ -1,0 +1,223 @@
+#include "tcp/tcp_socket.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "queueing/fifo_queue.hpp"
+#include "tcp/new_reno.hpp"
+
+namespace cebinae {
+namespace {
+
+// Sender host -- bottleneck link -- receiver host.
+struct TcpHarness {
+  Network net;
+  Node& src = net.add_node();
+  Node& dst = net.add_node();
+  FlowId flow{src.id(), dst.id(), 5000, 5000};
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+
+  explicit TcpHarness(std::uint64_t rate_bps = 10'000'000, Time delay = Milliseconds(10),
+                      std::uint64_t buffer_bytes = 64 * kMtuBytes,
+                      std::uint64_t bytes_to_send =
+                          std::numeric_limits<std::uint64_t>::max()) {
+    net.link(src, dst, rate_bps, delay, std::make_unique<FifoQueue>(buffer_bytes), nullptr);
+    net.build_routes();
+    TcpSender::Config cfg;
+    cfg.flow = flow;
+    cfg.bytes_to_send = bytes_to_send;
+    sender = std::make_unique<TcpSender>(net.scheduler(), src, NewReno::make(kMssBytes), cfg);
+    receiver = std::make_unique<TcpReceiver>(net.scheduler(), dst, flow);
+  }
+};
+
+TEST(TcpSocket, TransfersFiniteStreamExactly) {
+  const std::uint64_t total = 500 * kMssBytes;
+  TcpHarness h(10'000'000, Milliseconds(10), 64 * kMtuBytes, total);
+  h.sender->start();
+  h.net.scheduler().run();
+  EXPECT_EQ(h.receiver->delivered_bytes(), total);
+  EXPECT_EQ(h.sender->bytes_acked(), total);
+}
+
+TEST(TcpSocket, DeliveryCallbackSeesEveryByteOnce) {
+  const std::uint64_t total = 100 * kMssBytes;
+  TcpHarness h(10'000'000, Milliseconds(5), 64 * kMtuBytes, total);
+  std::uint64_t seen = 0;
+  h.receiver->set_delivery_callback(
+      [&](const FlowId&, std::uint64_t bytes, Time) { seen += bytes; });
+  h.sender->start();
+  h.net.scheduler().run();
+  EXPECT_EQ(seen, total);
+}
+
+TEST(TcpSocket, RttEstimateMatchesPath) {
+  TcpHarness h(100'000'000, Milliseconds(25), 256 * kMtuBytes, 50 * kMssBytes);
+  h.sender->start();
+  h.net.scheduler().run();
+  // Two-way propagation = 50 ms plus small serialization.
+  EXPECT_GE(h.sender->rtt().min_rtt(), Milliseconds(50));
+  EXPECT_LT(h.sender->rtt().min_rtt(), Milliseconds(55));
+}
+
+TEST(TcpSocket, SaturatesBottleneckLink) {
+  TcpHarness h(10'000'000, Milliseconds(10), 64 * kMtuBytes);
+  h.sender->start();
+  h.net.scheduler().run_until(Seconds(10));
+  const double goodput_bps = static_cast<double>(h.receiver->delivered_bytes()) * 8.0 / 10.0;
+  EXPECT_GT(goodput_bps, 0.85 * 10e6);
+  EXPECT_LE(goodput_bps, 10e6);
+}
+
+TEST(TcpSocket, TinyBufferForcesFastRetransmitAndRecovers) {
+  TcpHarness h(10'000'000, Milliseconds(10), 8 * kMtuBytes);
+  h.sender->start();
+  h.net.scheduler().run_until(Seconds(5));
+  EXPECT_GT(h.sender->fast_retransmit_count(), 0u);
+  EXPECT_GT(h.sender->retransmissions(), 0u);
+  // Despite losses, the connection keeps delivering.
+  const double goodput_bps = static_cast<double>(h.receiver->delivered_bytes()) * 8.0 / 5.0;
+  EXPECT_GT(goodput_bps, 0.5 * 10e6);
+}
+
+TEST(TcpSocket, PipeNeverExceedsWindow) {
+  // With SACK, the send gate is the pipe estimate (raw snd_nxt - snd_una can
+  // legitimately exceed cwnd while SACKed/lost bytes are outstanding).
+  TcpHarness h(10'000'000, Milliseconds(10), 64 * kMtuBytes);
+  h.sender->start();
+  bool violated = false;
+  std::function<void()> probe = [&] {
+    // During recovery the pipe may transiently exceed the freshly-halved
+    // window while PRR drains it; outside recovery the gate must hold.
+    const std::uint64_t wnd = h.sender->cc().cwnd_bytes() + 4 * kMssBytes;
+    if (!h.sender->in_recovery() && h.sender->pipe_bytes() > wnd) violated = true;
+    if (h.net.scheduler().now() < Seconds(5)) {
+      h.net.scheduler().schedule(Milliseconds(10), probe);
+    }
+  };
+  h.net.scheduler().schedule(Milliseconds(10), probe);
+  h.net.scheduler().run_until(Seconds(5));
+  EXPECT_FALSE(violated);
+}
+
+TEST(TcpSocket, StopTimeHaltsNewData) {
+  TcpHarness h;
+  TcpSender::Config cfg;
+  cfg.flow = FlowId{h.src.id(), h.dst.id(), 6000, 6000};
+  cfg.stop_time = Seconds(1);
+  TcpSender sender(h.net.scheduler(), h.src, NewReno::make(kMssBytes), cfg);
+  TcpReceiver receiver(h.net.scheduler(), h.dst, cfg.flow);
+  sender.start();
+  h.net.scheduler().run_until(Seconds(3));
+  const std::uint64_t at_stop = receiver.delivered_bytes();
+  h.net.scheduler().run_until(Seconds(5));
+  // Only in-flight data drains after the stop; no significant new data.
+  EXPECT_LE(receiver.delivered_bytes() - at_stop, 256ull * kMssBytes);
+  EXPECT_GT(at_stop, 0u);
+}
+
+TEST(TcpSocket, StartTimeDelaysFirstSegment) {
+  TcpHarness h;
+  TcpSender::Config cfg;
+  cfg.flow = FlowId{h.src.id(), h.dst.id(), 6000, 6000};
+  cfg.start_time = Seconds(2);
+  TcpSender sender(h.net.scheduler(), h.src, NewReno::make(kMssBytes), cfg);
+  TcpReceiver receiver(h.net.scheduler(), h.dst, cfg.flow);
+  sender.start();
+  h.net.scheduler().run_until(Seconds(2) - Nanoseconds(1));
+  EXPECT_EQ(sender.bytes_sent(), 0u);
+  h.net.scheduler().run_until(Seconds(3));
+  EXPECT_GT(sender.bytes_sent(), 0u);
+}
+
+// --- Receiver reassembly unit tests (fabricated packets) -------------------
+
+struct ReceiverHarness {
+  Network net;
+  Node& node = net.add_node();
+  FlowId flow{99, node.id(), 1, 5000};
+  TcpReceiver rx{net.scheduler(), node, flow};
+
+  Packet data(std::uint64_t seq, std::uint32_t len) {
+    Packet p;
+    p.flow = flow;
+    p.kind = Packet::Kind::kTcpData;
+    p.seq = seq;
+    p.payload_bytes = len;
+    p.size_bytes = len + kHeaderBytes;
+    return p;
+  }
+};
+
+TEST(TcpReceiver, InOrderAdvancesCumulativeAck) {
+  ReceiverHarness h;
+  h.rx.deliver(h.data(0, 100));
+  EXPECT_EQ(h.rx.rcv_next(), 100u);
+  h.rx.deliver(h.data(100, 100));
+  EXPECT_EQ(h.rx.rcv_next(), 200u);
+  EXPECT_EQ(h.rx.delivered_bytes(), 200u);
+}
+
+TEST(TcpReceiver, OutOfOrderIsBufferedThenDrained) {
+  ReceiverHarness h;
+  h.rx.deliver(h.data(100, 100));  // hole at [0,100)
+  EXPECT_EQ(h.rx.rcv_next(), 0u);
+  EXPECT_EQ(h.rx.ooo_bytes(), 100u);
+  h.rx.deliver(h.data(200, 100));
+  EXPECT_EQ(h.rx.ooo_bytes(), 200u);
+  h.rx.deliver(h.data(0, 100));  // fills the hole; everything drains
+  EXPECT_EQ(h.rx.rcv_next(), 300u);
+  EXPECT_EQ(h.rx.ooo_bytes(), 0u);
+  EXPECT_EQ(h.rx.delivered_bytes(), 300u);
+}
+
+TEST(TcpReceiver, DuplicatesDoNotDoubleCount) {
+  ReceiverHarness h;
+  h.rx.deliver(h.data(0, 100));
+  h.rx.deliver(h.data(0, 100));
+  EXPECT_EQ(h.rx.delivered_bytes(), 100u);
+  EXPECT_EQ(h.rx.acks_sent(), 2u);  // duplicates still generate ACKs
+}
+
+TEST(TcpReceiver, OverlappingSegmentsMergeCorrectly) {
+  ReceiverHarness h;
+  h.rx.deliver(h.data(100, 100));  // [100,200)
+  h.rx.deliver(h.data(150, 100));  // [150,250) overlaps
+  EXPECT_EQ(h.rx.ooo_bytes(), 150u);
+  h.rx.deliver(h.data(0, 100));
+  EXPECT_EQ(h.rx.rcv_next(), 250u);
+  EXPECT_EQ(h.rx.delivered_bytes(), 250u);
+}
+
+TEST(TcpReceiver, PartialOverlapWithDeliveredData) {
+  ReceiverHarness h;
+  h.rx.deliver(h.data(0, 100));
+  h.rx.deliver(h.data(50, 100));  // [50,150): first half already delivered
+  EXPECT_EQ(h.rx.rcv_next(), 150u);
+  EXPECT_EQ(h.rx.delivered_bytes(), 150u);
+}
+
+TEST(TcpReceiver, BackwardMergeAcrossGapBoundary) {
+  ReceiverHarness h;
+  h.rx.deliver(h.data(300, 100));  // [300,400)
+  h.rx.deliver(h.data(100, 100));  // [100,200)
+  h.rx.deliver(h.data(200, 100));  // [200,300) bridges both
+  EXPECT_EQ(h.rx.ooo_bytes(), 300u);
+  h.rx.deliver(h.data(0, 100));
+  EXPECT_EQ(h.rx.rcv_next(), 400u);
+}
+
+TEST(TcpReceiver, CePacketTriggersEceOnce) {
+  ReceiverHarness h;
+  Packet p = h.data(0, 100);
+  p.ce = true;
+  h.rx.deliver(p);
+  // The ACK for this packet carries ECE; we can't observe the ACK directly
+  // here (no reverse route), but the latch must clear so state stays sane.
+  h.rx.deliver(h.data(100, 100));
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,72 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cebinae {
+namespace {
+
+TEST(Time, DefaultIsZero) {
+  EXPECT_EQ(Time().ns(), 0);
+  EXPECT_EQ(Time(), Time::zero());
+}
+
+TEST(Time, UnitConstructors) {
+  EXPECT_EQ(Nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Microseconds(5).ns(), 5'000);
+  EXPECT_EQ(Milliseconds(5).ns(), 5'000'000);
+  EXPECT_EQ(Seconds(5).ns(), 5'000'000'000);
+}
+
+TEST(Time, FractionalConstructors) {
+  EXPECT_EQ(SecondsF(1.5).ns(), 1'500'000'000);
+  EXPECT_EQ(MillisecondsF(20.4).ns(), 20'400'000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(Seconds(2).seconds(), 2.0);
+  EXPECT_DOUBLE_EQ(Milliseconds(250).seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(Milliseconds(3).millis(), 3.0);
+  EXPECT_DOUBLE_EQ(Microseconds(7).micros(), 7.0);
+}
+
+TEST(Time, Arithmetic) {
+  EXPECT_EQ(Seconds(1) + Milliseconds(500), MillisecondsF(1500));
+  EXPECT_EQ(Seconds(1) - Milliseconds(250), Milliseconds(750));
+  EXPECT_EQ(Milliseconds(3) * 4, Milliseconds(12));
+  EXPECT_EQ(4 * Milliseconds(3), Milliseconds(12));
+  EXPECT_EQ(Seconds(10) / Seconds(2), 5);
+  EXPECT_EQ(Seconds(1) / 4, Milliseconds(250));
+  EXPECT_EQ(Seconds(1) % Milliseconds(300), Milliseconds(100));
+}
+
+TEST(Time, CompoundAssignment) {
+  Time t = Seconds(1);
+  t += Milliseconds(500);
+  EXPECT_EQ(t, Milliseconds(1500));
+  t -= Seconds(1);
+  EXPECT_EQ(t, Milliseconds(500));
+}
+
+TEST(Time, Ordering) {
+  EXPECT_LT(Milliseconds(999), Seconds(1));
+  EXPECT_GT(Seconds(1), Microseconds(999'999));
+  EXPECT_LE(Seconds(1), Seconds(1));
+  EXPECT_LT(Time::zero(), Time::max());
+}
+
+TEST(Time, NegativeDurations) {
+  const Time t = Milliseconds(1) - Milliseconds(3);
+  EXPECT_EQ(t.ns(), -2'000'000);
+  EXPECT_LT(t, Time::zero());
+}
+
+TEST(Time, StreamOutput) {
+  std::ostringstream oss;
+  oss << Microseconds(3);
+  EXPECT_EQ(oss.str(), "3000ns");
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,72 @@
+#include "tcp/windowed_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace cebinae {
+namespace {
+
+using MaxFilter = WindowedFilter<double, std::int64_t, MaxCompare>;
+using MinFilter = WindowedFilter<double, std::int64_t, MinCompare>;
+
+TEST(WindowedFilter, TracksMaximum) {
+  MaxFilter f(10);
+  f.update(1.0, 0);
+  f.update(5.0, 1);
+  f.update(3.0, 2);
+  EXPECT_DOUBLE_EQ(f.get(), 5.0);
+}
+
+TEST(WindowedFilter, NewMaximumReplacesImmediately) {
+  MaxFilter f(10);
+  f.update(5.0, 0);
+  f.update(9.0, 1);
+  EXPECT_DOUBLE_EQ(f.get(), 9.0);
+}
+
+TEST(WindowedFilter, OldMaximumExpires) {
+  MaxFilter f(10);
+  f.update(100.0, 0);
+  for (std::int64_t t = 1; t <= 30; ++t) f.update(2.0, t);
+  // The 100.0 sample at t=0 is far outside the 10-wide window.
+  EXPECT_DOUBLE_EQ(f.get(), 2.0);
+}
+
+TEST(WindowedFilter, DecaysThroughRunnersUp) {
+  MaxFilter f(10);
+  f.update(100.0, 0);
+  f.update(50.0, 2);
+  f.update(25.0, 4);
+  for (std::int64_t t = 5; t <= 12; ++t) f.update(10.0, t);
+  // 100 expired at t=11; the estimate degrades to a runner-up, not to 10.
+  const double v = f.get();
+  EXPECT_LT(v, 100.0);
+  EXPECT_GE(v, 10.0);
+}
+
+TEST(WindowedFilter, MinVariantTracksMinimum) {
+  MinFilter f(10);
+  f.update(10.0, 0);
+  f.update(3.0, 1);
+  f.update(7.0, 2);
+  EXPECT_DOUBLE_EQ(f.get(), 3.0);
+}
+
+TEST(WindowedFilter, WorksWithTimeType) {
+  WindowedFilter<double, Time, MaxCompare> f(Seconds(10));
+  f.update(4.0, Seconds(1));
+  f.update(2.0, Seconds(2));
+  EXPECT_DOUBLE_EQ(f.get(), 4.0);
+  EXPECT_EQ(f.get_time(), Seconds(1));
+}
+
+TEST(WindowedFilter, ResetReplacesAll) {
+  MaxFilter f(10);
+  f.update(100.0, 0);
+  f.reset(1.0, 5);
+  EXPECT_DOUBLE_EQ(f.get(), 1.0);
+}
+
+}  // namespace
+}  // namespace cebinae
