@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_afq_scaling.dir/ablation_afq_scaling.cpp.o"
+  "CMakeFiles/ablation_afq_scaling.dir/ablation_afq_scaling.cpp.o.d"
+  "ablation_afq_scaling"
+  "ablation_afq_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_afq_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

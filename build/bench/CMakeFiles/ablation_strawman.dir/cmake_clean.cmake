@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_strawman.dir/ablation_strawman.cpp.o"
+  "CMakeFiles/ablation_strawman.dir/ablation_strawman.cpp.o.d"
+  "ablation_strawman"
+  "ablation_strawman.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_strawman.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_rtt_timeseries.dir/fig01_rtt_timeseries.cpp.o"
+  "CMakeFiles/fig01_rtt_timeseries.dir/fig01_rtt_timeseries.cpp.o.d"
+  "fig01_rtt_timeseries"
+  "fig01_rtt_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_rtt_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_vegas_newreno.dir/fig07_vegas_newreno.cpp.o"
+  "CMakeFiles/fig07_vegas_newreno.dir/fig07_vegas_newreno.cpp.o.d"
+  "fig07_vegas_newreno"
+  "fig07_vegas_newreno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_vegas_newreno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cdfs.dir/fig08_cdfs.cpp.o"
+  "CMakeFiles/fig08_cdfs.dir/fig08_cdfs.cpp.o.d"
+  "fig08_cdfs"
+  "fig08_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

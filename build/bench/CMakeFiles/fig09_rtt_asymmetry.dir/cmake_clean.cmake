@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_rtt_asymmetry.dir/fig09_rtt_asymmetry.cpp.o"
+  "CMakeFiles/fig09_rtt_asymmetry.dir/fig09_rtt_asymmetry.cpp.o.d"
+  "fig09_rtt_asymmetry"
+  "fig09_rtt_asymmetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_rtt_asymmetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_parking_lot.dir/fig11_parking_lot.cpp.o"
+  "CMakeFiles/fig11_parking_lot.dir/fig11_parking_lot.cpp.o.d"
+  "fig11_parking_lot"
+  "fig11_parking_lot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_parking_lot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_flowcache_accuracy.dir/fig13_flowcache_accuracy.cpp.o"
+  "CMakeFiles/fig13_flowcache_accuracy.dir/fig13_flowcache_accuracy.cpp.o.d"
+  "fig13_flowcache_accuracy"
+  "fig13_flowcache_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_flowcache_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

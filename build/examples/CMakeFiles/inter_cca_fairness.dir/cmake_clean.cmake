@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inter_cca_fairness.dir/inter_cca_fairness.cpp.o"
+  "CMakeFiles/inter_cca_fairness.dir/inter_cca_fairness.cpp.o.d"
+  "inter_cca_fairness"
+  "inter_cca_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inter_cca_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/control/packet_generator.cpp" "src/CMakeFiles/cebinae.dir/control/packet_generator.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/control/packet_generator.cpp.o.d"
+  "/root/repo/src/core/agent.cpp" "src/CMakeFiles/cebinae.dir/core/agent.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/core/agent.cpp.o.d"
+  "/root/repo/src/core/cebinae_queue_disc.cpp" "src/CMakeFiles/cebinae.dir/core/cebinae_queue_disc.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/core/cebinae_queue_disc.cpp.o.d"
+  "/root/repo/src/core/flow_cache.cpp" "src/CMakeFiles/cebinae.dir/core/flow_cache.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/core/flow_cache.cpp.o.d"
+  "/root/repo/src/core/lbf.cpp" "src/CMakeFiles/cebinae.dir/core/lbf.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/core/lbf.cpp.o.d"
+  "/root/repo/src/core/port_saturation.cpp" "src/CMakeFiles/cebinae.dir/core/port_saturation.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/core/port_saturation.cpp.o.d"
+  "/root/repo/src/core/resource_model.cpp" "src/CMakeFiles/cebinae.dir/core/resource_model.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/core/resource_model.cpp.o.d"
+  "/root/repo/src/metrics/flow_stats.cpp" "src/CMakeFiles/cebinae.dir/metrics/flow_stats.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/metrics/flow_stats.cpp.o.d"
+  "/root/repo/src/metrics/maxmin.cpp" "src/CMakeFiles/cebinae.dir/metrics/maxmin.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/metrics/maxmin.cpp.o.d"
+  "/root/repo/src/net/device.cpp" "src/CMakeFiles/cebinae.dir/net/device.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/net/device.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/cebinae.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/cebinae.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/net/node.cpp.o.d"
+  "/root/repo/src/queueing/afq.cpp" "src/CMakeFiles/cebinae.dir/queueing/afq.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/queueing/afq.cpp.o.d"
+  "/root/repo/src/queueing/codel.cpp" "src/CMakeFiles/cebinae.dir/queueing/codel.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/queueing/codel.cpp.o.d"
+  "/root/repo/src/queueing/fifo_queue.cpp" "src/CMakeFiles/cebinae.dir/queueing/fifo_queue.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/queueing/fifo_queue.cpp.o.d"
+  "/root/repo/src/queueing/fq_codel.cpp" "src/CMakeFiles/cebinae.dir/queueing/fq_codel.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/queueing/fq_codel.cpp.o.d"
+  "/root/repo/src/queueing/token_bucket.cpp" "src/CMakeFiles/cebinae.dir/queueing/token_bucket.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/queueing/token_bucket.cpp.o.d"
+  "/root/repo/src/runner/scenario.cpp" "src/CMakeFiles/cebinae.dir/runner/scenario.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/runner/scenario.cpp.o.d"
+  "/root/repo/src/sim/logging.cpp" "src/CMakeFiles/cebinae.dir/sim/logging.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/sim/logging.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/cebinae.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/cebinae.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/tcp/bbr.cpp" "src/CMakeFiles/cebinae.dir/tcp/bbr.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/bbr.cpp.o.d"
+  "/root/repo/src/tcp/bic.cpp" "src/CMakeFiles/cebinae.dir/tcp/bic.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/bic.cpp.o.d"
+  "/root/repo/src/tcp/cubic.cpp" "src/CMakeFiles/cebinae.dir/tcp/cubic.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/cubic.cpp.o.d"
+  "/root/repo/src/tcp/new_reno.cpp" "src/CMakeFiles/cebinae.dir/tcp/new_reno.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/new_reno.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/CMakeFiles/cebinae.dir/tcp/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/tcp_socket.cpp" "src/CMakeFiles/cebinae.dir/tcp/tcp_socket.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/tcp_socket.cpp.o.d"
+  "/root/repo/src/tcp/vegas.cpp" "src/CMakeFiles/cebinae.dir/tcp/vegas.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/tcp/vegas.cpp.o.d"
+  "/root/repo/src/topology/topology.cpp" "src/CMakeFiles/cebinae.dir/topology/topology.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/topology/topology.cpp.o.d"
+  "/root/repo/src/workload/bulk_app.cpp" "src/CMakeFiles/cebinae.dir/workload/bulk_app.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/workload/bulk_app.cpp.o.d"
+  "/root/repo/src/workload/trace_gen.cpp" "src/CMakeFiles/cebinae.dir/workload/trace_gen.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/workload/trace_gen.cpp.o.d"
+  "/root/repo/src/workload/udp_app.cpp" "src/CMakeFiles/cebinae.dir/workload/udp_app.cpp.o" "gcc" "src/CMakeFiles/cebinae.dir/workload/udp_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_afq.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_afq.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_afq.cpp.o.d"
+  "/root/repo/tests/test_agent.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_agent.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_agent.cpp.o.d"
+  "/root/repo/tests/test_bbr.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_bbr.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_bbr.cpp.o.d"
+  "/root/repo/tests/test_bic.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_bic.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_bic.cpp.o.d"
+  "/root/repo/tests/test_cc_factory.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_cc_factory.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_cc_factory.cpp.o.d"
+  "/root/repo/tests/test_cebinae_queue_disc.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_cebinae_queue_disc.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_cebinae_queue_disc.cpp.o.d"
+  "/root/repo/tests/test_codel.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_codel.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_codel.cpp.o.d"
+  "/root/repo/tests/test_cubic.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_cubic.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_cubic.cpp.o.d"
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_fifo_queue.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_fifo_queue.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_fifo_queue.cpp.o.d"
+  "/root/repo/tests/test_flow_cache.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_flow_cache.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_flow_cache.cpp.o.d"
+  "/root/repo/tests/test_flow_stats.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_flow_stats.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_flow_stats.cpp.o.d"
+  "/root/repo/tests/test_fq_codel.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_fq_codel.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_fq_codel.cpp.o.d"
+  "/root/repo/tests/test_jfi.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_jfi.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_jfi.cpp.o.d"
+  "/root/repo/tests/test_lbf.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_lbf.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_lbf.cpp.o.d"
+  "/root/repo/tests/test_lbf_properties.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_lbf_properties.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_lbf_properties.cpp.o.d"
+  "/root/repo/tests/test_maxmin.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_maxmin.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_maxmin.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_newreno.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_newreno.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_newreno.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_packet_generator.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_packet_generator.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_packet_generator.cpp.o.d"
+  "/root/repo/tests/test_paper_examples.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_paper_examples.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_paper_examples.cpp.o.d"
+  "/root/repo/tests/test_params.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_params.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_params.cpp.o.d"
+  "/root/repo/tests/test_port_saturation.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_port_saturation.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_port_saturation.cpp.o.d"
+  "/root/repo/tests/test_random.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_random.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_random.cpp.o.d"
+  "/root/repo/tests/test_resource_model.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_resource_model.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_resource_model.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_rtt_estimator.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_rtt_estimator.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_rtt_estimator.cpp.o.d"
+  "/root/repo/tests/test_scenario_integration.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_scenario_integration.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_scenario_integration.cpp.o.d"
+  "/root/repo/tests/test_scenario_qdiscs.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_scenario_qdiscs.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_scenario_qdiscs.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_shadow_register.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_shadow_register.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_shadow_register.cpp.o.d"
+  "/root/repo/tests/test_tcp_socket.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_tcp_socket.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_tcp_socket.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_time.cpp.o.d"
+  "/root/repo/tests/test_token_bucket.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_token_bucket.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_token_bucket.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace_gen.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_trace_gen.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_trace_gen.cpp.o.d"
+  "/root/repo/tests/test_udp_app.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_udp_app.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_udp_app.cpp.o.d"
+  "/root/repo/tests/test_vegas.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_vegas.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_vegas.cpp.o.d"
+  "/root/repo/tests/test_windowed_filter.cpp" "tests/CMakeFiles/cebinae_tests.dir/test_windowed_filter.cpp.o" "gcc" "tests/CMakeFiles/cebinae_tests.dir/test_windowed_filter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cebinae.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
