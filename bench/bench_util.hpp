@@ -3,13 +3,24 @@
 // Every bench runs with no arguments using scaled-down durations so the full
 // suite finishes in minutes; pass --full to reproduce the paper's 100 s runs
 // (and full trial counts) at the cost of a long wall-clock time.
+//
+// Benches ported to the src/exp harness additionally accept:
+//   --jobs=N    run scenarios on N worker threads (0 = all hardware threads);
+//               results are bit-identical for any N (per-job derived seeds)
+//   --out=PATH  stream one JSONL ResultRow per scenario to PATH ("-" = stdout)
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "exp/experiment.hpp"
+#include "exp/sweep_grid.hpp"
 #include "runner/scenario.hpp"
 
 namespace cebinae::bench {
@@ -17,6 +28,8 @@ namespace cebinae::bench {
 struct BenchOptions {
   bool full = false;
   std::uint64_t seed = 1;
+  int jobs = 1;
+  std::string out;  // JSONL path; empty = disabled
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -24,8 +37,36 @@ inline BenchOptions parse_options(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) opts.full = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) opts.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    if (std::strncmp(argv[i], "--jobs=", 7) == 0) opts.jobs = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--out=", 6) == 0) opts.out = argv[i] + 6;
+  }
+  if (opts.jobs <= 0) {
+    opts.jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   }
   return opts;
+}
+
+// Run a batch of jobs across opts.jobs workers, streaming JSONL rows to
+// opts.out when set. The progress ticker goes to stderr so stdout stays
+// byte-identical regardless of --jobs.
+inline std::vector<exp::RunRecord> run_batch(const std::vector<exp::ExperimentJob>& jobs,
+                                             const BenchOptions& opts) {
+  std::optional<exp::JsonlWriter> writer;
+  try {
+    writer.emplace(opts.out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::exit(2);
+  }
+  exp::ExperimentRunner::Options ro;
+  ro.jobs = opts.jobs;
+  ro.base_seed = opts.seed;
+  ro.writer = writer->enabled() ? &*writer : nullptr;
+  ro.on_progress = [](std::size_t done, std::size_t total) {
+    std::fprintf(stderr, "\r[exp] %zu/%zu scenarios done", done, total);
+    if (done == total) std::fprintf(stderr, "\n");
+  };
+  return exp::ExperimentRunner(ro).run(jobs);
 }
 
 inline double to_mbps(double bytes_per_sec) { return bytes_per_sec * 8.0 / 1e6; }

@@ -24,32 +24,47 @@ void print_cdf(const char* label, std::vector<double> fifo, std::vector<double> 
   }
 }
 
-ScenarioResult run(const std::vector<FlowSpec>& flows, QdiscKind qdisc,
-                   const BenchOptions& opts, std::uint64_t buf_mtu) {
-  ScenarioConfig cfg;
-  cfg.bottleneck_bps = 1'000'000'000;
-  cfg.buffer_bytes = buf_mtu * kMtuBytes;
-  cfg.qdisc = qdisc;
-  cfg.duration = opts.full ? Seconds(100) : Seconds(12);
-  cfg.seed = opts.seed;
-  cfg.flows = flows;
-  return Scenario(cfg).run();
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opts = parse_options(argc, argv);
   print_header("Figure 8: goodput CDFs, aggressive/starved CCA mixes at 1 Gbps", opts);
 
+  // Both subfigures' flow mixes x {FIFO, Cebinae}, mix-outermost so record
+  // index is mix * 2 + qdisc; the 4 scenarios run across --jobs workers.
+  ScenarioConfig common;
+  common.bottleneck_bps = 1'000'000'000;
+  common.duration = opts.full ? Seconds(100) : Seconds(12);
+  common.flows = {FlowSpec{}};  // placeholder, replaced per mix
+  const std::vector<exp::ExperimentJob> jobs =
+      exp::SweepGrid(common)
+          .variants(
+              "mix",
+              {{"reno128_bbr2",
+                [](ScenarioConfig& cfg) {
+                  // (a) 128 NewReno + 2 BBR, equal 100 ms RTTs, 8350 MTU
+                  // (~1 BDP) buffer (Table 2's row for this mix).
+                  cfg.buffer_bytes = 8350ull * kMtuBytes;
+                  cfg.flows = flows_of(CcaType::kNewReno, 128, Milliseconds(100));
+                  cfg.flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
+                  cfg.flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
+                }},
+               {"reno128_vegas4",
+                [](ScenarioConfig& cfg) {
+                  // (b) 128 NewReno @64 ms + 4 Vegas @100 ms.
+                  cfg.buffer_bytes = 8500ull * kMtuBytes;
+                  cfg.flows = flows_of(CcaType::kNewReno, 128, Milliseconds(64));
+                  for (int i = 0; i < 4; ++i) {
+                    cfg.flows.push_back(FlowSpec{CcaType::kVegas, Milliseconds(100)});
+                  }
+                }}})
+          .qdiscs({QdiscKind::kFifo, QdiscKind::kCebinae})
+          .build();
+  const std::vector<exp::RunRecord> records = run_batch(jobs, opts);
+
   {
-    // (a) 128 NewReno + 2 BBR, equal 100 ms RTTs, 8350 MTU (~1 BDP) buffer
-    // (Table 2's row for this mix).
-    std::vector<FlowSpec> flows = flows_of(CcaType::kNewReno, 128, Milliseconds(100));
-    flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
-    flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
-    const ScenarioResult fifo = run(flows, QdiscKind::kFifo, opts, 8350);
-    const ScenarioResult ceb = run(flows, QdiscKind::kCebinae, opts, 8350);
+    const ScenarioResult& fifo = records[0].result;
+    const ScenarioResult& ceb = records[1].result;
     print_cdf("(a) 128 NewReno vs 2 BBR", fifo.goodput_Bps, ceb.goodput_Bps);
     const double bbr_fifo = fifo.goodput_Bps[128] + fifo.goodput_Bps[129];
     const double bbr_ceb = ceb.goodput_Bps[128] + ceb.goodput_Bps[129];
@@ -60,11 +75,8 @@ int main(int argc, char** argv) {
   }
 
   {
-    // (b) 128 NewReno @64 ms + 4 Vegas @100 ms.
-    std::vector<FlowSpec> flows = flows_of(CcaType::kNewReno, 128, Milliseconds(64));
-    for (int i = 0; i < 4; ++i) flows.push_back(FlowSpec{CcaType::kVegas, Milliseconds(100)});
-    const ScenarioResult fifo = run(flows, QdiscKind::kFifo, opts, 8500);
-    const ScenarioResult ceb = run(flows, QdiscKind::kCebinae, opts, 8500);
+    const ScenarioResult& fifo = records[2].result;
+    const ScenarioResult& ceb = records[3].result;
     print_cdf("(b) 128 NewReno vs 4 Vegas", fifo.goodput_Bps, ceb.goodput_Bps);
     double vegas_fifo = 0;
     double vegas_ceb = 0;

@@ -3,6 +3,7 @@
 // to 100%. JFI and application goodput for Cebinae at each setting, with
 // FIFO and FQ as flat references.
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hpp"
 
@@ -28,27 +29,40 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_options(argc, argv);
   print_header("Figure 12: threshold sensitivity (16 NewReno + 1 Cubic, 100 Mbps)", opts);
 
-  ScenarioConfig fifo_cfg = base(opts);
-  fifo_cfg.qdisc = QdiscKind::kFifo;
-  const ScenarioResult fifo = Scenario(fifo_cfg).run();
-  ScenarioConfig fq_cfg = base(opts);
-  fq_cfg.qdisc = QdiscKind::kFqCoDel;
-  const ScenarioResult fq = Scenario(fq_cfg).run();
+  const std::vector<double> kThresholdsPct = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
 
+  // One batch: 2 reference qdiscs followed by the 7-point Cebinae threshold
+  // axis, all run across --jobs workers.
+  std::vector<exp::ExperimentJob> jobs =
+      exp::SweepGrid(base(opts)).qdiscs({QdiscKind::kFifo, QdiscKind::kFqCoDel}).build();
+  {
+    ScenarioConfig ceb = base(opts);
+    ceb.qdisc = QdiscKind::kCebinae;
+    std::vector<exp::ExperimentJob> sweep =
+        exp::SweepGrid(ceb)
+            .axis("thresholds_pct", kThresholdsPct,
+                  [](ScenarioConfig& cfg, double pct) {
+                    cfg.cebinae.delta_port = pct / 100.0;
+                    cfg.cebinae.delta_flow = pct / 100.0;
+                    cfg.cebinae.tau = pct / 100.0;
+                  })
+            .build();
+    jobs.insert(jobs.end(), std::make_move_iterator(sweep.begin()),
+                std::make_move_iterator(sweep.end()));
+  }
+  const std::vector<exp::RunRecord> records = run_batch(jobs, opts);
+
+  const ScenarioResult& fifo = records[0].result;
+  const ScenarioResult& fq = records[1].result;
   std::printf("references: FIFO JFI %.3f goodput %.1f Mbps | FQ JFI %.3f goodput %.1f Mbps\n\n",
               fifo.jfi, to_mbps(fifo.total_goodput_Bps), fq.jfi,
               to_mbps(fq.total_goodput_Bps));
 
   std::printf("%-14s %10s %16s\n", "thresholds[%]", "JFI", "Goodput[Mbps]");
-  for (double pct : {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0}) {
-    ScenarioConfig cfg = base(opts);
-    cfg.qdisc = QdiscKind::kCebinae;
-    cfg.cebinae.delta_port = pct / 100.0;
-    cfg.cebinae.delta_flow = pct / 100.0;
-    cfg.cebinae.tau = pct / 100.0;
-    const ScenarioResult r = Scenario(cfg).run();
-    std::printf("%-14.0f %10.3f %16.1f\n", pct, r.jfi, to_mbps(r.total_goodput_Bps));
-    std::fflush(stdout);
+  for (std::size_t i = 0; i < kThresholdsPct.size(); ++i) {
+    const ScenarioResult& r = records[2 + i].result;
+    std::printf("%-14.0f %10.3f %16.1f\n", kThresholdsPct[i], r.jfi,
+                to_mbps(r.total_goodput_Bps));
   }
   std::printf("\n(expected shape: fairness comparable to FQ at small thresholds; goodput\n"
               " decays as thresholds grow and collapses once they cross the fair share)\n");

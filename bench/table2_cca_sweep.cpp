@@ -64,19 +64,13 @@ std::string describe(const Row& row) {
   return s;
 }
 
-struct Metrics {
-  double throughput_mbps;
-  double goodput_mbps;
-  double jfi;
-};
-
-Metrics run_row(const Row& row, QdiscKind qdisc, const BenchOptions& opts) {
-  ScenarioConfig cfg;
+// Configure a ScenarioConfig for one of the 25 rows (qdisc is applied by
+// the sweep's qdisc dimension).
+void apply_row(ScenarioConfig& cfg, const Row& row, bool full) {
   cfg.bottleneck_bps = row.bps;
   cfg.buffer_bytes = row.buf_mtu * kMtuBytes;
-  cfg.qdisc = qdisc;
-  cfg.duration = duration_for(row.bps, opts.full);
-  cfg.seed = opts.seed;
+  cfg.duration = duration_for(row.bps, full);
+  cfg.flows.clear();
   for (std::size_t g = 0; g < row.groups.size(); ++g) {
     const double rtt_ms =
         row.rtts_ms.size() == 1 ? row.rtts_ms[0] : row.rtts_ms[g % row.rtts_ms.size()];
@@ -87,8 +81,17 @@ Metrics run_row(const Row& row, QdiscKind qdisc, const BenchOptions& opts) {
       cfg.flows.push_back(f);
     }
   }
-  ScenarioResult r = Scenario(cfg).run();
-  return Metrics{to_mbps(r.throughput_Bps[0]), to_mbps(r.total_goodput_Bps), r.jfi};
+}
+
+struct Metrics {
+  double throughput_mbps;
+  double goodput_mbps;
+  double jfi;
+};
+
+Metrics metrics_of(const exp::RunRecord& rec) {
+  return Metrics{to_mbps(rec.result.throughput_Bps[0]), to_mbps(rec.result.total_goodput_Bps),
+                 rec.result.jfi};
 }
 
 }  // namespace
@@ -97,13 +100,32 @@ int main(int argc, char** argv) {
   const BenchOptions opts = parse_options(argc, argv);
   print_header("Table 2: CCA/RTT/bandwidth sweep", opts);
 
+  // 25 rows x 3 qdiscs, expanded row-outermost so record index is
+  // row * 3 + qdisc. All 75 scenarios run across --jobs workers.
+  std::vector<std::pair<std::string, exp::SweepGrid::Mutator>> row_variants;
+  for (std::size_t r = 0; r < kRows.size(); ++r) {
+    row_variants.emplace_back("r" + std::to_string(r),
+                              [r, full = opts.full](ScenarioConfig& cfg) {
+                                apply_row(cfg, kRows[r], full);
+                              });
+  }
+  ScenarioConfig base;
+  base.flows = {FlowSpec{}};  // placeholder; every row mutator rewrites flows
+  const std::vector<exp::ExperimentJob> jobs =
+      exp::SweepGrid(base)
+          .variants("row", std::move(row_variants))
+          .qdiscs({QdiscKind::kFifo, QdiscKind::kFqCoDel, QdiscKind::kCebinae})
+          .build();
+  const std::vector<exp::RunRecord> records = run_batch(jobs, opts);
+
   std::printf("%-9s %-14s %-7s %-28s | %-26s | %-26s | %-20s\n", "Btl.BW", "RTTs[ms]",
               "Buf", "CCAs", "Throughput[Mbps] F/FQ/Ceb", "Goodput[Mbps] F/FQ/Ceb",
               "JFI FIFO/FQ/Ceb");
-  for (const Row& row : kRows) {
-    const Metrics fifo = run_row(row, QdiscKind::kFifo, opts);
-    const Metrics fq = run_row(row, QdiscKind::kFqCoDel, opts);
-    const Metrics ceb = run_row(row, QdiscKind::kCebinae, opts);
+  for (std::size_t ri = 0; ri < kRows.size(); ++ri) {
+    const Row& row = kRows[ri];
+    const Metrics fifo = metrics_of(records[ri * 3 + 0]);
+    const Metrics fq = metrics_of(records[ri * 3 + 1]);
+    const Metrics ceb = metrics_of(records[ri * 3 + 2]);
 
     std::string rtts = "{";
     for (std::size_t i = 0; i < row.rtts_ms.size(); ++i) {

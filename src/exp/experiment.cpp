@@ -1,0 +1,127 @@
+#include "exp/experiment.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+
+#include "exp/thread_pool.hpp"
+
+namespace cebinae::exp {
+
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index) {
+  // SplitMix64: advance the state by the job index, then finalize. The +1 on
+  // the index keeps job 0 from returning a plain finalization of base_seed
+  // (which derive_seed(x, 0) callers might also use directly as a base).
+  std::uint64_t z = base_seed + (job_index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Aggregate aggregate(const std::vector<double>& samples) {
+  Aggregate a;
+  a.n = static_cast<int>(samples.size());
+  if (samples.empty()) return a;
+  a.min = samples[0];
+  a.max = samples[0];
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+    if (s < a.min) a.min = s;
+    if (s > a.max) a.max = s;
+  }
+  a.mean = sum / static_cast<double>(a.n);
+  double var = 0.0;
+  for (double s : samples) var += (s - a.mean) * (s - a.mean);
+  a.stddev = std::sqrt(var / static_cast<double>(a.n));
+  return a;
+}
+
+std::vector<RunRecord> ExperimentRunner::run(const std::vector<ExperimentJob>& jobs) {
+  const std::size_t total = jobs.size();
+  std::vector<RunRecord> records(total);
+
+  // In-order JSONL emission: rows are buffered until every lower-index job
+  // has been written, so the output file is byte-stable across thread
+  // counts and completion orders.
+  std::mutex emit_mu;
+  std::vector<bool> done(total, false);
+  std::size_t next_to_emit = 0;
+  std::size_t completed = 0;
+
+  auto run_one = [&](std::size_t i) {
+    ScenarioConfig cfg = jobs[i].config;
+    cfg.seed = derive_seed(opts_.base_seed, i);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    ScenarioResult result = Scenario(cfg).run();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    RunRecord rec;
+    rec.result = std::move(result);
+    rec.seed = cfg.seed;
+    rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    records[i] = std::move(rec);
+
+    std::lock_guard<std::mutex> lock(emit_mu);
+    done[i] = true;
+    ++completed;
+    if (opts_.writer != nullptr) {
+      while (next_to_emit < total && done[next_to_emit]) {
+        opts_.writer->write(result_row(jobs[next_to_emit], next_to_emit, opts_.base_seed,
+                                       records[next_to_emit]));
+        ++next_to_emit;
+      }
+    }
+    if (opts_.on_progress) opts_.on_progress(completed, total);
+  };
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(total);
+  {
+    ThreadPool pool(opts_.jobs);
+    for (std::size_t i = 0; i < total; ++i) {
+      futures.push_back(pool.submit([&run_one, i] { run_one(i); }));
+    }
+    // Pool destructor drains the queue, so every future below is ready (or
+    // holds the job's exception) once this scope closes.
+  }
+
+  // Surface the first failure after all jobs have drained; later rows for
+  // completed jobs are already on disk, which aids post-mortems.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return records;
+}
+
+JsonObject result_row(const ExperimentJob& job, std::size_t job_index,
+                      std::uint64_t base_seed, const RunRecord& record) {
+  JsonObject row;
+  row.set("label", job.label);
+  if (!job.params.empty()) row.set("params", job.params);
+  row.set("qdisc", to_string(job.config.qdisc));
+  row.set("job_index", static_cast<std::uint64_t>(job_index));
+  row.set("base_seed", base_seed);
+  row.set("seed", record.seed);
+  row.set("n_flows", static_cast<std::uint64_t>(job.config.flows.size()));
+  row.set("chain_links", job.config.chain_links);
+  row.set("bottleneck_bps", job.config.bottleneck_bps);
+  row.set("buffer_bytes", job.config.buffer_bytes);
+  row.set("duration_s", job.config.duration.seconds());
+  row.set("goodput_Bps", record.result.goodput_Bps);
+  row.set("total_goodput_Bps", record.result.total_goodput_Bps);
+  row.set("throughput_Bps", record.result.throughput_Bps);
+  row.set("jfi", record.result.jfi);
+  row.set("wall_s", record.wall_seconds);
+  return row;
+}
+
+}  // namespace cebinae::exp

@@ -1,0 +1,83 @@
+// ExperimentRunner: execute a batch of independent ScenarioConfig jobs
+// across a thread pool, with deterministic per-job seeding and results
+// returned in job order.
+//
+// Determinism contract: job i always runs with seed
+// derive_seed(base_seed, i) on a Scenario built only from its own config,
+// so the batch's results are bit-identical regardless of how many worker
+// threads execute it or in which order jobs complete. This is what allows
+// `--jobs=N` to be a pure wall-clock knob on the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/jsonl_writer.hpp"
+#include "runner/scenario.hpp"
+
+namespace cebinae::exp {
+
+// SplitMix64 finalizer over (base_seed, job_index): cheap, well-dispersed,
+// and stable across platforms (unlike std::hash, it is fully specified
+// here). Every job gets an independent master seed for its Network RNG.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t job_index);
+
+// One batch entry: the config to run plus bookkeeping echoed into results.
+struct ExperimentJob {
+  ScenarioConfig config;
+  std::string label;  // free-form, e.g. "row=3 qdisc=Cebinae trial=1"
+  JsonObject params;  // sweep-axis echo, nested into the JSONL row
+};
+
+struct RunRecord {
+  ScenarioResult result;
+  std::uint64_t seed = 0;     // the derived seed the job actually ran with
+  double wall_seconds = 0.0;  // host wall-clock for this one Scenario
+};
+
+// Min/max/mean/stddev over one metric across trials (population stddev).
+struct Aggregate {
+  int n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+[[nodiscard]] Aggregate aggregate(const std::vector<double>& samples);
+
+class ExperimentRunner {
+ public:
+  struct Options {
+    int jobs = 1;                    // worker threads; <1 clamps to 1
+    std::uint64_t base_seed = 1;     // per-job seeds derive from this
+    JsonlWriter* writer = nullptr;   // optional JSONL sink (not owned)
+    // Called after each job finishes, serialized, in completion order —
+    // progress reporting only; use the returned vector for results.
+    std::function<void(std::size_t done, std::size_t total)> on_progress;
+  };
+
+  explicit ExperimentRunner(Options opts) : opts_(std::move(opts)) {}
+
+  // Runs every job and returns records in job order. If a writer is
+  // configured, rows are ALSO emitted in job order (buffered until all
+  // preceding jobs finish) so JSONL files diff cleanly across runs.
+  // Exceptions thrown by a Scenario propagate out of run() after the
+  // remaining jobs drain.
+  std::vector<RunRecord> run(const std::vector<ExperimentJob>& jobs);
+
+ private:
+  Options opts_;
+};
+
+// The standard JSONL row for one run: config echo + metrics + wall clock.
+// Schema (stable keys, documented in DESIGN.md):
+//   label, params{...}, qdisc, seed, base_seed, job_index, n_flows,
+//   chain_links, bottleneck_bps, buffer_bytes, duration_s,
+//   goodput_Bps[...], total_goodput_Bps, throughput_Bps[...], jfi, wall_s
+[[nodiscard]] JsonObject result_row(const ExperimentJob& job, std::size_t job_index,
+                                    std::uint64_t base_seed, const RunRecord& record);
+
+}  // namespace cebinae::exp

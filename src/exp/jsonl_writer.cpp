@@ -1,0 +1,137 @@
+#include "exp/jsonl_writer.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <stdexcept>
+
+namespace cebinae::exp {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void JsonObject::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += json_escape(k);
+  body_ += ':';
+}
+
+JsonObject& JsonObject::set(std::string_view k, double v) {
+  key(k);
+  body_ += json_number(v);
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view k, std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view k, std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view k, std::string_view v) {
+  key(k);
+  body_ += json_escape(v);
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view k, const std::vector<double>& v) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) body_ += ',';
+    body_ += json_number(v[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+JsonObject& JsonObject::set(std::string_view k, const JsonObject& v) {
+  key(k);
+  body_ += v.str();
+  return *this;
+}
+
+JsonlWriter::JsonlWriter(std::string path) : path_(std::move(path)) {
+  if (path_.empty()) return;
+  if (path_ == "-") {
+    out_ = &std::cout;
+    return;
+  }
+  auto file = std::make_unique<std::ofstream>(path_, std::ios::out | std::ios::trunc);
+  if (!*file) throw std::runtime_error("JsonlWriter: cannot open " + path_);
+  owns_ = std::move(file);
+  out_ = owns_.get();
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (out_) out_->flush();
+}
+
+std::size_t JsonlWriter::rows_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rows_;
+}
+
+void JsonlWriter::write(const JsonObject& row) {
+  if (!out_) return;
+  const std::string line = row.str();
+  std::lock_guard<std::mutex> lock(mu_);
+  *out_ << line << '\n';
+  out_->flush();
+  ++rows_;
+}
+
+}  // namespace cebinae::exp

@@ -1,0 +1,59 @@
+#include "exp/thread_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cebinae::exp {
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = std::max(threads, 1);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutting_down_) {
+      throw std::runtime_error("ThreadPool::submit on a shutting-down pool");
+    }
+    queue_.push(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      // Drain semantics: only exit once the queue is empty, so every job
+      // submitted before destruction still runs.
+      if (queue_.empty()) return;
+      job = std::move(queue_.front());
+      queue_.pop();
+    }
+    // packaged_task captures any exception into the future; nothing escapes
+    // into the worker loop.
+    job();
+  }
+}
+
+}  // namespace cebinae::exp

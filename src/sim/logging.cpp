@@ -1,8 +1,11 @@
 #include "sim/logging.hpp"
 
+#include <mutex>
+
 namespace cebinae {
 namespace {
-LogLevel g_level = LogLevel::kOff;
+// Serializes whole log lines when scenarios run in parallel worker threads.
+std::mutex g_log_mutex;
 
 constexpr std::string_view name(LogLevel lvl) {
   switch (lvl) {
@@ -21,11 +24,13 @@ constexpr std::string_view name(LogLevel lvl) {
 }
 }  // namespace
 
-LogLevel Logger::level() { return g_level; }
-void Logger::set_level(LogLevel level) { g_level = level; }
+std::atomic<LogLevel> Logger::g_level{LogLevel::kOff};
 
 void Logger::log(LogLevel level, std::string_view component, std::string_view message) {
-  std::clog << '[' << name(level) << "] " << component << ": " << message << '\n';
+  std::ostringstream line;
+  line << '[' << name(level) << "] " << component << ": " << message << '\n';
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::clog << line.str();
 }
 
 }  // namespace cebinae

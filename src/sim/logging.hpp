@@ -1,10 +1,20 @@
 // Minimal leveled logger for the simulator.
 //
 // Logging is off by default (benches and tests stay quiet); examples enable
-// it to narrate what the network is doing. Not thread-safe by design: the
-// simulator is single-threaded.
+// it to narrate what the network is doing.
+//
+// Thread-safety contract (relied on by the src/exp experiment harness):
+// the simulator itself is single-threaded, but the harness runs one
+// independent Scenario per worker thread. Everything a Scenario touches is
+// owned by its Network (scheduler, RNG, nodes); the ONLY process-global
+// mutable state in the simulator is this logger's level. The level is
+// therefore an atomic (set_level/level may race benignly with readers), and
+// log() serializes whole lines under an internal mutex so concurrent
+// scenarios cannot interleave output. Running one Scenario per thread is
+// safe; sharing a Scenario/Network across threads is not.
 #pragma once
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string_view>
@@ -15,11 +25,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
 class Logger {
  public:
-  static LogLevel level();
-  static void set_level(LogLevel level);
+  static LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+  static void set_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
   static void log(LogLevel level, std::string_view component, std::string_view message);
 
   static bool enabled(LogLevel lvl) { return lvl >= level(); }
+
+ private:
+  static std::atomic<LogLevel> g_level;
 };
 
 }  // namespace cebinae

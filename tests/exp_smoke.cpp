@@ -1,0 +1,96 @@
+// ctest smoke target for the parallel experiment path: a 4-job mini-sweep
+// through ExperimentRunner, cross-checked against a serial run and its own
+// JSONL output. Exercises ThreadPool + SweepGrid + JsonlWriter end-to-end on
+// every `ctest` invocation in a couple of seconds.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/sweep_grid.hpp"
+
+using namespace cebinae;
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "exp_smoke FAIL: %s\n", what);
+    ++g_failures;
+  }
+}
+
+std::vector<exp::ExperimentJob> mini_sweep() {
+  ScenarioConfig base;
+  base.bottleneck_bps = 20'000'000;
+  base.buffer_bytes = 64ull * kMtuBytes;
+  base.duration = Milliseconds(400);
+  base.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(10));
+  return exp::SweepGrid(base)
+      .qdiscs({QdiscKind::kFifo, QdiscKind::kCebinae})
+      .axis("rtt_ms", {10.0, 30.0},
+            [](ScenarioConfig& cfg, double ms) {
+              for (auto& f : cfg.flows) f.rtt = MillisecondsF(ms);
+            })
+      .trials(2)
+      .build();
+}
+
+std::vector<exp::RunRecord> run(int jobs, exp::JsonlWriter* writer) {
+  exp::ExperimentRunner::Options opts;
+  opts.jobs = jobs;
+  opts.base_seed = 1;
+  opts.writer = writer;
+  return exp::ExperimentRunner(opts).run(mini_sweep());
+}
+
+}  // namespace
+
+int main() {
+  const std::string out = std::string(std::getenv("TMPDIR") ? std::getenv("TMPDIR") : "/tmp") +
+                          "/cebinae_exp_smoke.jsonl";
+
+  exp::JsonlWriter writer(out);
+  const std::vector<exp::RunRecord> par = run(/*jobs=*/4, &writer);
+  const std::vector<exp::RunRecord> ser = run(/*jobs=*/1, nullptr);
+
+  check(par.size() == 8 && ser.size() == 8, "expected 8 records");
+  for (std::size_t i = 0; i < par.size() && i < ser.size(); ++i) {
+    check(par[i].seed == ser[i].seed, "per-job seeds match across thread counts");
+    check(par[i].result.goodput_Bps == ser[i].result.goodput_Bps,
+          "goodputs bit-identical across thread counts");
+    check(par[i].result.jfi == ser[i].result.jfi, "JFI bit-identical across thread counts");
+    check(par[i].result.total_goodput_Bps > 0.0, "scenario actually moved bytes");
+  }
+
+  // JSONL sanity: 8 rows, job order, plausible object shape.
+  check(writer.rows_written() == 8, "writer saw 8 rows");
+  std::ifstream in(out);
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    check(!line.empty() && line.front() == '{' && line.back() == '}', "row is a JSON object");
+    check(line.find("\"job_index\":" + std::to_string(rows)) != std::string::npos,
+          "rows are in job order");
+    check(line.find("\"jfi\":") != std::string::npos, "row carries jfi");
+    ++rows;
+  }
+  check(rows == 8, "file holds 8 JSONL rows");
+  std::remove(out.c_str());
+
+  // Cross-trial aggregation over the parallel run's FIFO points.
+  const exp::Aggregate agg = exp::aggregate(
+      {par[0].result.jfi, par[1].result.jfi, par[2].result.jfi, par[3].result.jfi});
+  check(agg.n == 4 && agg.min <= agg.mean && agg.mean <= agg.max, "aggregate is coherent");
+
+  if (g_failures == 0) {
+    std::printf("exp_smoke OK: 8-job mini-sweep deterministic across 1 and 4 workers\n");
+    return 0;
+  }
+  std::fprintf(stderr, "exp_smoke: %d failure(s)\n", g_failures);
+  return 1;
+}

@@ -1,0 +1,267 @@
+// src/exp harness: seed derivation, aggregation, JSON building, SweepGrid
+// expansion, and the core determinism contract — a batch run with jobs=1
+// and jobs=4 yields bit-identical results in stable job order.
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/sweep_grid.hpp"
+
+namespace cebinae::exp {
+namespace {
+
+// --- derive_seed ----------------------------------------------------------
+
+TEST(DeriveSeed, IsStableAcrossCalls) {
+  EXPECT_EQ(derive_seed(1, 0), derive_seed(1, 0));
+  EXPECT_EQ(derive_seed(42, 17), derive_seed(42, 17));
+}
+
+TEST(DeriveSeed, DispersesOverJobsAndBases) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 8; ++base) {
+    for (std::uint64_t i = 0; i < 64; ++i) seen.insert(derive_seed(base, i));
+  }
+  EXPECT_EQ(seen.size(), 8u * 64u);  // no collisions in a small grid
+}
+
+TEST(DeriveSeed, DistinctAcrossIndexAndBase) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  // Index is salted, so job 0 is not just a finalization of the base seed.
+  EXPECT_NE(derive_seed(derive_seed(1, 0), 0), derive_seed(1, 0));
+}
+
+// --- aggregate ------------------------------------------------------------
+
+TEST(Aggregate, EmptyAndSingle) {
+  const Aggregate e = aggregate({});
+  EXPECT_EQ(e.n, 0);
+  const Aggregate s = aggregate({3.5});
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Aggregate, MeanStddevMinMax) {
+  const Aggregate a = aggregate({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(a.n, 8);
+  EXPECT_DOUBLE_EQ(a.mean, 5.0);
+  EXPECT_DOUBLE_EQ(a.stddev, 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(a.min, 2.0);
+  EXPECT_DOUBLE_EQ(a.max, 9.0);
+}
+
+// --- JsonObject / JsonlWriter --------------------------------------------
+
+TEST(JsonObject, BuildsOrderedObject) {
+  JsonObject o;
+  o.set("a", 1).set("b", 2.5).set("c", "x").set("d", true);
+  EXPECT_EQ(o.str(), R"({"a":1,"b":2.5,"c":"x","d":true})");
+}
+
+TEST(JsonObject, EscapesStringsAndHandlesArraysAndNesting) {
+  JsonObject inner;
+  inner.set("k", std::uint64_t{7});
+  JsonObject o;
+  o.set("s", "a\"b\\c\nd").set("arr", std::vector<double>{1.0, 0.5}).set("nest", inner);
+  EXPECT_EQ(o.str(), R"({"s":"a\"b\\c\nd","arr":[1,0.5],"nest":{"k":7}})");
+}
+
+TEST(JsonObject, NonFiniteNumbersBecomeNull) {
+  JsonObject o;
+  o.set("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(o.str(), R"({"inf":null})");
+}
+
+TEST(JsonlWriter, DisabledWriterIsANoop) {
+  JsonlWriter w("");
+  EXPECT_FALSE(w.enabled());
+  JsonObject row;
+  row.set("x", 1);
+  w.write(row);
+  EXPECT_EQ(w.rows_written(), 0u);
+}
+
+TEST(JsonlWriter, WritesOneLinePerRow) {
+  const std::string path = ::testing::TempDir() + "cebinae_jsonl_test.jsonl";
+  {
+    JsonlWriter w(path);
+    ASSERT_TRUE(w.enabled());
+    JsonObject a;
+    a.set("i", 0);
+    JsonObject b;
+    b.set("i", 1);
+    w.write(a);
+    w.write(b);
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, R"({"i":0})");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, R"({"i":1})");
+  EXPECT_FALSE(std::getline(in, line));
+  std::remove(path.c_str());
+}
+
+// --- SweepGrid ------------------------------------------------------------
+
+ScenarioConfig tiny_base() {
+  ScenarioConfig cfg;
+  cfg.bottleneck_bps = 20'000'000;
+  cfg.buffer_bytes = 64ull * kMtuBytes;
+  cfg.duration = Milliseconds(400);
+  cfg.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(10));
+  return cfg;
+}
+
+TEST(SweepGrid, ExpandsCartesianProductInDeclarationOrder) {
+  SweepGrid grid(tiny_base());
+  grid.qdiscs({QdiscKind::kFifo, QdiscKind::kFqCoDel})
+      .axis("rtt_ms", {10.0, 20.0},
+            [](ScenarioConfig& cfg, double ms) {
+              for (auto& f : cfg.flows) f.rtt = MillisecondsF(ms);
+            })
+      .trials(3);
+  EXPECT_EQ(grid.size(), 2u * 2u * 3u);
+  const std::vector<ExperimentJob> jobs = grid.build();
+  ASSERT_EQ(jobs.size(), 12u);
+  // First dimension outermost, trials innermost.
+  EXPECT_EQ(jobs[0].label, "qdisc=FIFO rtt_ms=10 trial=0");
+  EXPECT_EQ(jobs[1].label, "qdisc=FIFO rtt_ms=10 trial=1");
+  EXPECT_EQ(jobs[3].label, "qdisc=FIFO rtt_ms=20 trial=0");
+  EXPECT_EQ(jobs[6].label, "qdisc=FQ rtt_ms=10 trial=0");
+  EXPECT_EQ(jobs[11].label, "qdisc=FQ rtt_ms=20 trial=2");
+  EXPECT_EQ(jobs[6].config.qdisc, QdiscKind::kFqCoDel);
+  EXPECT_EQ(jobs[3].config.flows[0].rtt, Milliseconds(20));
+  EXPECT_EQ(jobs[0].params.str(), R"({"qdisc":"FIFO","rtt_ms":10,"trial":0})");
+}
+
+TEST(SweepGrid, VariantsApplyArbitraryMutations) {
+  const std::vector<ExperimentJob> jobs =
+      SweepGrid(tiny_base())
+          .variants("mix", {{"two", [](ScenarioConfig&) {}},
+                            {"four",
+                             [](ScenarioConfig& cfg) {
+                               cfg.flows = flows_of(CcaType::kCubic, 4, Milliseconds(5));
+                             }}})
+          .build();
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].config.flows.size(), 2u);
+  EXPECT_EQ(jobs[1].config.flows.size(), 4u);
+  EXPECT_EQ(jobs[1].label, "mix=four");
+}
+
+// --- ExperimentRunner -----------------------------------------------------
+
+std::vector<ExperimentJob> mini_batch() {
+  return SweepGrid(tiny_base())
+      .qdiscs({QdiscKind::kFifo, QdiscKind::kFqCoDel})
+      .axis("rtt_ms", {10.0, 30.0},
+            [](ScenarioConfig& cfg, double ms) {
+              for (auto& f : cfg.flows) f.rtt = MillisecondsF(ms);
+            })
+      .trials(2)
+      .build();
+}
+
+std::vector<RunRecord> run_with_jobs(int jobs, JsonlWriter* writer = nullptr) {
+  ExperimentRunner::Options opts;
+  opts.jobs = jobs;
+  opts.base_seed = 7;
+  opts.writer = writer;
+  return ExperimentRunner(opts).run(mini_batch());
+}
+
+TEST(ExperimentRunner, ParallelRunIsBitIdenticalToSerialRun) {
+  const std::vector<RunRecord> serial = run_with_jobs(1);
+  const std::vector<RunRecord> parallel = run_with_jobs(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, parallel[i].seed) << "job " << i;
+    EXPECT_EQ(serial[i].seed, derive_seed(7, i));
+    ASSERT_EQ(serial[i].result.goodput_Bps.size(), parallel[i].result.goodput_Bps.size());
+    for (std::size_t f = 0; f < serial[i].result.goodput_Bps.size(); ++f) {
+      // Bit-identical, not approximately equal: same seed, same event order.
+      EXPECT_EQ(serial[i].result.goodput_Bps[f], parallel[i].result.goodput_Bps[f])
+          << "job " << i << " flow " << f;
+    }
+    EXPECT_EQ(serial[i].result.total_goodput_Bps, parallel[i].result.total_goodput_Bps);
+    EXPECT_EQ(serial[i].result.jfi, parallel[i].result.jfi);
+    EXPECT_EQ(serial[i].result.throughput_Bps, parallel[i].result.throughput_Bps);
+  }
+}
+
+TEST(ExperimentRunner, TrialsDifferButAreIndividuallyDeterministic) {
+  const std::vector<RunRecord> records = run_with_jobs(2);
+  // trial=0 and trial=1 of the same point run different seeds -> different
+  // start jitter -> (almost surely) different goodputs.
+  EXPECT_NE(records[0].seed, records[1].seed);
+  EXPECT_NE(records[0].result.goodput_Bps, records[1].result.goodput_Bps);
+}
+
+// Strips the (intentionally non-deterministic) wall-clock field.
+std::string strip_wall(const std::string& line) {
+  const std::size_t pos = line.find(",\"wall_s\":");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+TEST(ExperimentRunner, JsonlRowsAreInJobOrderAndStableAcrossThreadCounts) {
+  const std::string p1 = ::testing::TempDir() + "cebinae_exp_j1.jsonl";
+  const std::string p4 = ::testing::TempDir() + "cebinae_exp_j4.jsonl";
+  {
+    JsonlWriter w1(p1);
+    (void)run_with_jobs(1, &w1);
+    JsonlWriter w4(p4);
+    (void)run_with_jobs(4, &w4);
+  }
+  std::ifstream in1(p1), in4(p4);
+  std::string l1, l4;
+  std::size_t rows = 0;
+  while (std::getline(in1, l1)) {
+    ASSERT_TRUE(std::getline(in4, l4));
+    EXPECT_EQ(strip_wall(l1), strip_wall(l4)) << "row " << rows;
+    EXPECT_NE(l1.find("\"job_index\":" + std::to_string(rows)), std::string::npos);
+    ++rows;
+  }
+  EXPECT_FALSE(std::getline(in4, l4));
+  EXPECT_EQ(rows, mini_batch().size());
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
+}
+
+TEST(JsonlWriter, ThrowsOnUnopenablePath) {
+  EXPECT_THROW(JsonlWriter("/nonexistent-dir/x/y.jsonl"), std::runtime_error);
+}
+
+TEST(ExperimentRunner, ProgressCallbackCoversEveryJob) {
+  std::vector<std::size_t> seen;
+  ExperimentRunner::Options opts;
+  opts.jobs = 3;
+  opts.base_seed = 7;
+  std::mutex mu;
+  opts.on_progress = [&](std::size_t done, std::size_t total) {
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(total, 8u);
+    seen.push_back(done);
+  };
+  (void)ExperimentRunner(opts).run(mini_batch());
+  ASSERT_EQ(seen.size(), 8u);
+  // Completion counter is serialized, so it must count 1..8 in order.
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+}  // namespace
+}  // namespace cebinae::exp

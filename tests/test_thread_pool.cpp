@@ -1,0 +1,92 @@
+#include "exp/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cebinae::exp {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i) {
+      futures.push_back(pool.submit([&count] { count.fetch_add(1); }));
+    }
+    for (auto& f : futures) f.get();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, ExceptionsPropagateToTheFuture) {
+  ThreadPool pool(2);
+  std::future<void> bad = pool.submit([] { throw std::runtime_error("boom"); });
+  std::future<int> good = pool.submit([] { return 7; });
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // A throwing job must not take down its worker.
+  EXPECT_EQ(good.get(), 7);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      // Futures discarded: destruction alone must still run all 50.
+      (void)pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, UsesMultipleWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  std::atomic<int> blocked{0};
+  std::vector<std::future<void>> futures;
+  // Jobs rendezvous until all 4 workers hold one, proving concurrency.
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(pool.submit([&] {
+      blocked.fetch_add(1);
+      while (blocked.load() < 4) std::this_thread::yield();
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(ThreadPool, ClampsThreadCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.submit([] { return 42; }).get(), 42);
+}
+
+}  // namespace
+}  // namespace cebinae::exp
