@@ -5,15 +5,24 @@
 // (and full trial counts) at the cost of a long wall-clock time.
 //
 // Benches ported to the src/exp harness additionally accept:
-//   --jobs=N    run scenarios on N worker threads (0 = all hardware threads);
-//               results are bit-identical for any N (per-job derived seeds)
-//   --out=PATH  stream one JSONL ResultRow per scenario to PATH ("-" = stdout)
+//   --jobs=N         run scenarios on N worker threads (0 = all hardware
+//                    threads); results are bit-identical for any N
+//   --out=PATH       stream one JSONL ResultRow per scenario to PATH
+//                    ("-" = stdout)
+//   --trace-out=PATH stream probe time-series rows of traced jobs to a
+//                    sidecar JSONL file (byte-stable across --jobs)
+//   --resume         re-read an existing --out file and skip jobs whose
+//                    rows are already complete (killed-sweep continuation)
+//   --perf-out[=P]   write a BENCH_<name>.json perf summary (wall clock,
+//                    scenarios/sec) to P, default BENCH_<name>.json
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <thread>
@@ -29,7 +38,11 @@ struct BenchOptions {
   bool full = false;
   std::uint64_t seed = 1;
   int jobs = 1;
-  std::string out;  // JSONL path; empty = disabled
+  std::string out;        // JSONL path; empty = disabled
+  std::string trace_out;  // sidecar time-series JSONL path; empty = disabled
+  bool resume = false;    // skip job_indexes already complete in `out`
+  bool perf = false;      // write a perf summary after the batch
+  std::string perf_out;   // summary path; empty = BENCH_<name>.json
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -39,6 +52,13 @@ inline BenchOptions parse_options(int argc, char** argv) {
     if (std::strncmp(argv[i], "--seed=", 7) == 0) opts.seed = std::strtoull(argv[i] + 7, nullptr, 10);
     if (std::strncmp(argv[i], "--jobs=", 7) == 0) opts.jobs = std::atoi(argv[i] + 7);
     if (std::strncmp(argv[i], "--out=", 6) == 0) opts.out = argv[i] + 6;
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) opts.trace_out = argv[i] + 12;
+    if (std::strcmp(argv[i], "--resume") == 0) opts.resume = true;
+    if (std::strcmp(argv[i], "--perf-out") == 0) opts.perf = true;
+    if (std::strncmp(argv[i], "--perf-out=", 11) == 0) {
+      opts.perf = true;
+      opts.perf_out = argv[i] + 11;
+    }
   }
   if (opts.jobs <= 0) {
     opts.jobs = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
@@ -46,27 +66,79 @@ inline BenchOptions parse_options(int argc, char** argv) {
   return opts;
 }
 
+// Single-run perf summary for the release-over-release trajectory; see
+// scripts/perf_trajectory.sh for the --jobs=1 vs --jobs=nproc comparison.
+inline void write_perf_summary(const char* bench_name, const BenchOptions& opts,
+                               std::size_t scenarios, std::size_t skipped, double wall_s) {
+  const std::string path =
+      opts.perf_out.empty() ? "BENCH_" + std::string(bench_name) + ".json" : opts.perf_out;
+  const std::size_t ran = scenarios - skipped;
+  exp::JsonObject o;
+  o.set("bench", bench_name);
+  o.set("jobs", opts.jobs);
+  o.set("scenarios", static_cast<std::uint64_t>(scenarios));
+  o.set("skipped", static_cast<std::uint64_t>(skipped));
+  o.set("wall_s", wall_s);
+  o.set("scenarios_per_sec", wall_s > 0.0 ? static_cast<double>(ran) / wall_s : 0.0);
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f) {
+    std::fprintf(stderr, "error: cannot write perf summary %s\n", path.c_str());
+    return;
+  }
+  f << o.str() << '\n';
+  std::fprintf(stderr, "[exp] perf summary -> %s\n", path.c_str());
+}
+
 // Run a batch of jobs across opts.jobs workers, streaming JSONL rows to
-// opts.out when set. The progress ticker goes to stderr so stdout stays
-// byte-identical regardless of --jobs.
-inline std::vector<exp::RunRecord> run_batch(const std::vector<exp::ExperimentJob>& jobs,
+// opts.out (and trace rows to opts.trace_out) when set. The progress ticker
+// goes to stderr so stdout stays byte-identical regardless of --jobs.
+inline std::vector<exp::RunRecord> run_batch(const char* bench_name,
+                                             const std::vector<exp::ExperimentJob>& jobs,
                                              const BenchOptions& opts) {
+  exp::ExperimentRunner::Options ro;
+  ro.jobs = opts.jobs;
+  ro.base_seed = opts.seed;
+
+  if (opts.resume && !opts.out.empty() && opts.out != "-") {
+    ro.skip_completed = exp::completed_job_indices_file(opts.out);
+    // Indexes beyond this batch (stale file from a different sweep) still
+    // count as "skipped nothing"; only in-range hits matter.
+    if (!ro.skip_completed.empty()) {
+      std::fprintf(stderr, "[exp] resume: %zu/%zu jobs already complete in %s\n",
+                   ro.skip_completed.size(), jobs.size(), opts.out.c_str());
+    }
+  }
+
   std::optional<exp::JsonlWriter> writer;
+  std::optional<exp::JsonlWriter> trace_writer;
   try {
-    writer.emplace(opts.out);
+    const auto mode = opts.resume && !ro.skip_completed.empty()
+                          ? exp::JsonlWriter::Mode::kAppend
+                          : exp::JsonlWriter::Mode::kTruncate;
+    writer.emplace(opts.out, mode);
+    trace_writer.emplace(opts.trace_out, mode);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     std::exit(2);
   }
-  exp::ExperimentRunner::Options ro;
-  ro.jobs = opts.jobs;
-  ro.base_seed = opts.seed;
   ro.writer = writer->enabled() ? &*writer : nullptr;
+  ro.trace_writer = trace_writer->enabled() ? &*trace_writer : nullptr;
   ro.on_progress = [](std::size_t done, std::size_t total) {
     std::fprintf(stderr, "\r[exp] %zu/%zu scenarios done", done, total);
     if (done == total) std::fprintf(stderr, "\n");
   };
-  return exp::ExperimentRunner(ro).run(jobs);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<exp::RunRecord> records = exp::ExperimentRunner(ro).run(jobs);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  if (opts.perf) {
+    std::size_t skipped = 0;
+    for (const exp::RunRecord& r : records) skipped += r.skipped ? 1 : 0;
+    write_perf_summary(bench_name, opts, records.size(), skipped,
+                       std::chrono::duration<double>(t1 - t0).count());
+  }
+  return records;
 }
 
 inline double to_mbps(double bytes_per_sec) { return bytes_per_sec * 8.0 / 1e6; }

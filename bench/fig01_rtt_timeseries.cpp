@@ -1,8 +1,13 @@
 // Figure 1: goodput time series of two NewReno flows with RTTs 20.4 ms and
 // 40 ms sharing one bottleneck, under FIFO and under Cebinae, along with
 // Cebinae's port state (unsaturated / which flow is bottlenecked).
-#include <algorithm>
+//
+// Runs through ExperimentRunner with a 1 s trace probe: the per-second
+// series come from the probe's sampled rows (tput_Bps / ceb_saturated /
+// top_flow), not from any in-run capture. --trace-out= streams the same
+// rows to a sidecar JSONL file.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
 
@@ -11,49 +16,20 @@ using namespace cebinae::bench;
 
 namespace {
 
-struct Series {
-  std::vector<double> f0_mbps;  // per-second goodput, flow 0 (RTT 20.4 ms)
-  std::vector<double> f1_mbps;  // flow 1 (RTT 40 ms)
-  std::vector<char> state;      // '-' unsaturated, '0'/'1' top flow, 'B' both
-};
+// '-' unsaturated, '0'/'1' flow 0/1 is in the top (bottlenecked) set, 'B' both.
+char state_char(const obs::TraceRow& row) {
+  const std::vector<double>* saturated = row.array("ceb_saturated");
+  const std::vector<double>* top = row.array("top_flow");
+  if (saturated == nullptr || top == nullptr || saturated->empty()) return '-';
+  if ((*saturated)[0] == 0.0) return '-';
+  const bool has0 = top->size() > 0 && (*top)[0] != 0.0;
+  const bool has1 = top->size() > 1 && (*top)[1] != 0.0;
+  return has0 && has1 ? 'B' : (has0 ? '0' : (has1 ? '1' : '-'));
+}
 
-Series run(QdiscKind qdisc, Time duration, std::uint64_t bps) {
-  ScenarioConfig cfg;
-  cfg.bottleneck_bps = bps;
-  cfg.buffer_bytes = 850ull * kMtuBytes;
-  cfg.qdisc = qdisc;
-  cfg.duration = duration;
-  cfg.flows = {FlowSpec{CcaType::kNewReno, MillisecondsF(20.4)},
-               FlowSpec{CcaType::kNewReno, Milliseconds(40)}};
-  Scenario scenario(cfg);
-
-  Series out;
-  const std::size_t seconds = static_cast<std::size_t>(duration / Seconds(1));
-  out.state.assign(seconds + 1, '-');
-  if (qdisc == QdiscKind::kCebinae) {
-    scenario.add_probe(Seconds(1), [&](Time now) {
-      const auto& snap = scenario.agent(0)->snapshot();
-      char s = '-';
-      if (snap.saturated && !snap.top_flows.empty()) {
-        const bool has0 = std::find(snap.top_flows.begin(), snap.top_flows.end(),
-                                    scenario.flow_ids()[0]) != snap.top_flows.end();
-        const bool has1 = std::find(snap.top_flows.begin(), snap.top_flows.end(),
-                                    scenario.flow_ids()[1]) != snap.top_flows.end();
-        s = has0 && has1 ? 'B' : (has0 ? '0' : (has1 ? '1' : '-'));
-      }
-      const auto idx = static_cast<std::size_t>(now / Seconds(1));
-      if (idx < out.state.size()) out.state[idx] = s;
-    });
-  }
-  scenario.run();
-
-  const auto s0 = scenario.stats().series(scenario.flow_ids()[0]);
-  const auto s1 = scenario.stats().series(scenario.flow_ids()[1]);
-  for (std::size_t s = 0; s < seconds; ++s) {
-    out.f0_mbps.push_back(s < s0.size() ? to_mbps(static_cast<double>(s0[s])) : 0.0);
-    out.f1_mbps.push_back(s < s1.size() ? to_mbps(static_cast<double>(s1[s])) : 0.0);
-  }
-  return out;
+double flow_mbps(const obs::TraceRow& row, std::size_t flow) {
+  const std::vector<double>* tput = row.array("tput_Bps");
+  return tput != nullptr && flow < tput->size() ? to_mbps((*tput)[flow]) : 0.0;
 }
 
 }  // namespace
@@ -64,27 +40,48 @@ int main(int argc, char** argv) {
 
   // 100 Mbps so NewReno's additive increase converges within the plotted
   // window (see EXPERIMENTS.md on timescale scaling).
-  const std::uint64_t bps = 100'000'000;
-  const Time duration = opts.full ? Seconds(60) : Seconds(30);
+  ScenarioConfig base;
+  base.bottleneck_bps = 100'000'000;
+  base.buffer_bytes = 850ull * kMtuBytes;
+  base.duration = opts.full ? Seconds(60) : Seconds(30);
+  base.flows = {FlowSpec{CcaType::kNewReno, MillisecondsF(20.4)},
+                FlowSpec{CcaType::kNewReno, Milliseconds(40)}};
 
-  const Series fifo = run(QdiscKind::kFifo, duration, bps);
-  const Series ceb = run(QdiscKind::kCebinae, duration, bps);
+  std::vector<exp::ExperimentJob> jobs;
+  for (QdiscKind qdisc : {QdiscKind::kFifo, QdiscKind::kCebinae}) {
+    exp::ExperimentJob job;
+    job.config = base;
+    job.config.qdisc = qdisc;
+    job.label = qdisc_name(qdisc);
+    job.params.set("qdisc", qdisc_name(qdisc));
+    job.trace_period = Seconds(1);
+    jobs.push_back(std::move(job));
+  }
+
+  const std::vector<exp::RunRecord> records = run_batch("fig01_rtt_timeseries", jobs, opts);
+  const std::vector<obs::TraceRow>& fifo = records[0].trace;
+  const std::vector<obs::TraceRow>& ceb = records[1].trace;
+  if (fifo.empty() || ceb.empty()) {
+    std::printf("(traces resumed over; rerun without --resume for the table)\n");
+    return 0;
+  }
 
   std::printf("%4s  %14s %14s   %14s %14s  %s\n", "t[s]", "FIFO rtt20[Mb]",
               "FIFO rtt40[Mb]", "Ceb rtt20[Mb]", "Ceb rtt40[Mb]", "Ceb state");
-  for (std::size_t s = 0; s < fifo.f0_mbps.size(); ++s) {
-    std::printf("%4zu  %14.1f %14.1f   %14.1f %14.1f  %c\n", s + 1, fifo.f0_mbps[s],
-                fifo.f1_mbps[s], ceb.f0_mbps[s], ceb.f1_mbps[s], ceb.state[s]);
+  const std::size_t rows = std::min(fifo.size(), ceb.size());
+  for (std::size_t s = 0; s < rows; ++s) {
+    std::printf("%4.0f  %14.1f %14.1f   %14.1f %14.1f  %c\n", fifo[s].t_s(),
+                flow_mbps(fifo[s], 0), flow_mbps(fifo[s], 1), flow_mbps(ceb[s], 0),
+                flow_mbps(ceb[s], 1), state_char(ceb[s]));
   }
 
   // Summary: ratio between the flows over the second half of the run.
-  auto half_avg = [](const std::vector<double>& v) {
+  auto half_avg = [rows](const std::vector<obs::TraceRow>& trace, std::size_t flow) {
     double sum = 0;
-    for (std::size_t i = v.size() / 2; i < v.size(); ++i) sum += v[i];
-    return sum / (v.size() - v.size() / 2);
+    for (std::size_t i = rows / 2; i < rows; ++i) sum += flow_mbps(trace[i], flow);
+    return sum / static_cast<double>(rows - rows / 2);
   };
   std::printf("\nsteady-state goodput ratio (short/long RTT): FIFO %.2f, Cebinae %.2f\n",
-              half_avg(fifo.f0_mbps) / half_avg(fifo.f1_mbps),
-              half_avg(ceb.f0_mbps) / half_avg(ceb.f1_mbps));
+              half_avg(fifo, 0) / half_avg(fifo, 1), half_avg(ceb, 0) / half_avg(ceb, 1));
   return 0;
 }

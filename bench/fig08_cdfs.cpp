@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
                 }}})
           .qdiscs({QdiscKind::kFifo, QdiscKind::kCebinae})
           .build();
-  const std::vector<exp::RunRecord> records = run_batch(jobs, opts);
+  const std::vector<exp::RunRecord> records = run_batch("fig08_cdfs", jobs, opts);
 
   {
     const ScenarioResult& fifo = records[0].result;

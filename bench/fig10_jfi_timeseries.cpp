@@ -2,77 +2,73 @@
 // state; a NewReno flow joins at ~5 s and a Cubic flow at ~25 s. Without
 // in-network help the system slides into persistent unfairness; Cebinae
 // pushes it back toward fair.
+//
+// Runs through ExperimentRunner with a 1 s trace probe: the JFI series is
+// the probe's "jfi" scalar (computed over flows active for a full sample
+// window), streamed to --trace-out= when requested.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.hpp"
-#include "metrics/jfi.hpp"
 
 using namespace cebinae;
 using namespace cebinae::bench;
-
-namespace {
-
-std::vector<double> run(QdiscKind qdisc, Time duration, const BenchOptions& opts) {
-  ScenarioConfig cfg;
-  cfg.bottleneck_bps = 100'000'000;
-  cfg.buffer_bytes = 850ull * kMtuBytes;
-  cfg.qdisc = qdisc;
-  cfg.duration = duration;
-  cfg.seed = opts.seed;
-  cfg.flows = flows_of(CcaType::kVegas, 32, Milliseconds(50));
-  FlowSpec reno{CcaType::kNewReno, Milliseconds(50)};
-  reno.start = Seconds(5);
-  cfg.flows.push_back(reno);
-  FlowSpec cubic{CcaType::kCubic, Milliseconds(50)};
-  cubic.start = Seconds(25);
-  cfg.flows.push_back(cubic);
-
-  Scenario scenario(cfg);
-  scenario.run();
-
-  // Per-second JFI over flows active in that second.
-  const std::size_t seconds = static_cast<std::size_t>(duration / Seconds(1));
-  std::vector<double> jfi_series;
-  for (std::size_t s = 0; s < seconds; ++s) {
-    std::vector<double> rates;
-    for (std::size_t f = 0; f < cfg.flows.size(); ++f) {
-      const Time start = cfg.flows[f].start;
-      if (Seconds(static_cast<std::int64_t>(s)) < start) continue;  // not yet active
-      const auto series = scenario.stats().series(scenario.flow_ids()[f]);
-      rates.push_back(s < series.size() ? static_cast<double>(series[s]) : 0.0);
-    }
-    jfi_series.push_back(jain_index(rates));
-  }
-  return jfi_series;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const BenchOptions opts = parse_options(argc, argv);
   print_header("Figure 10: JFI time series (32 Vegas; NewReno joins @5s, Cubic @25s)",
                opts);
 
-  const Time duration = opts.full ? Seconds(50) : Seconds(40);
-  const auto fifo = run(QdiscKind::kFifo, duration, opts);
-  const auto fq = run(QdiscKind::kFqCoDel, duration, opts);
-  const auto ceb = run(QdiscKind::kCebinae, duration, opts);
+  ScenarioConfig base;
+  base.bottleneck_bps = 100'000'000;
+  base.buffer_bytes = 850ull * kMtuBytes;
+  base.duration = opts.full ? Seconds(50) : Seconds(40);
+  base.flows = flows_of(CcaType::kVegas, 32, Milliseconds(50));
+  FlowSpec reno{CcaType::kNewReno, Milliseconds(50)};
+  reno.start = Seconds(5);
+  base.flows.push_back(reno);
+  FlowSpec cubic{CcaType::kCubic, Milliseconds(50)};
+  cubic.start = Seconds(25);
+  base.flows.push_back(cubic);
 
-  std::printf("%5s %10s %10s %10s\n", "t[s]", "FIFO", "FQ", "Cebinae");
-  for (std::size_t s = 0; s < fifo.size(); ++s) {
-    std::printf("%5zu %10.3f %10.3f %10.3f\n", s + 1, fifo[s], fq[s], ceb[s]);
+  const QdiscKind kinds[] = {QdiscKind::kFifo, QdiscKind::kFqCoDel, QdiscKind::kCebinae};
+  std::vector<exp::ExperimentJob> jobs;
+  for (QdiscKind qdisc : kinds) {
+    exp::ExperimentJob job;
+    job.config = base;
+    job.config.qdisc = qdisc;
+    job.label = qdisc_name(qdisc);
+    job.params.set("qdisc", qdisc_name(qdisc));
+    job.trace_period = Seconds(1);
+    jobs.push_back(std::move(job));
   }
 
-  auto tail_avg = [](const std::vector<double>& v) {
+  const std::vector<exp::RunRecord> records = run_batch("fig10_jfi_timeseries", jobs, opts);
+  const std::vector<double> fifo = obs::TraceSink::series_of(records[0].trace, "jfi");
+  const std::vector<double> fq = obs::TraceSink::series_of(records[1].trace, "jfi");
+  const std::vector<double> ceb = obs::TraceSink::series_of(records[2].trace, "jfi");
+  if (fifo.empty() || fq.empty() || ceb.empty()) {
+    std::printf("(traces resumed over; rerun without --resume for the table)\n");
+    return 0;
+  }
+
+  std::printf("%5s %10s %10s %10s\n", "t[s]", "FIFO", "FQ", "Cebinae");
+  const std::size_t rows = std::min(fifo.size(), std::min(fq.size(), ceb.size()));
+  for (std::size_t s = 0; s < rows; ++s) {
+    std::printf("%5.0f %10.3f %10.3f %10.3f\n", records[0].trace[s].t_s(), fifo[s], fq[s],
+                ceb[s]);
+  }
+
+  auto tail_avg = [rows](const std::vector<double>& v) {
     double sum = 0;
     std::size_t n = 0;
-    for (std::size_t i = v.size() * 3 / 4; i < v.size(); ++i) {
+    for (std::size_t i = rows * 3 / 4; i < rows; ++i) {
       sum += v[i];
       ++n;
     }
-    return sum / n;
+    return sum / static_cast<double>(n);
   };
-  std::printf("\nfinal-quarter mean JFI: FIFO %.3f  FQ %.3f  Cebinae %.3f\n",
-              tail_avg(fifo), tail_avg(fq), tail_avg(ceb));
+  std::printf("\nfinal-quarter mean JFI: FIFO %.3f  FQ %.3f  Cebinae %.3f\n", tail_avg(fifo),
+              tail_avg(fq), tail_avg(ceb));
   return 0;
 }

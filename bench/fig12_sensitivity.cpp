@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     jobs.insert(jobs.end(), std::make_move_iterator(sweep.begin()),
                 std::make_move_iterator(sweep.end()));
   }
-  const std::vector<exp::RunRecord> records = run_batch(jobs, opts);
+  const std::vector<exp::RunRecord> records = run_batch("fig12_sensitivity", jobs, opts);
 
   const ScenarioResult& fifo = records[0].result;
   const ScenarioResult& fq = records[1].result;

@@ -116,7 +116,7 @@ int main(int argc, char** argv) {
           .variants("row", std::move(row_variants))
           .qdiscs({QdiscKind::kFifo, QdiscKind::kFqCoDel, QdiscKind::kCebinae})
           .build();
-  const std::vector<exp::RunRecord> records = run_batch(jobs, opts);
+  const std::vector<exp::RunRecord> records = run_batch("table2_cca_sweep", jobs, opts);
 
   std::printf("%-9s %-14s %-7s %-28s | %-26s | %-26s | %-20s\n", "Btl.BW", "RTTs[ms]",
               "Buf", "CCAs", "Throughput[Mbps] F/FQ/Ceb", "Goodput[Mbps] F/FQ/Ceb",

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Fast-suite CI gate: build with ThreadSanitizer and run the tier-1 tests
+# (unit tests + exp_smoke). TSan exercises the src/exp thread pool and the
+# runner's in-order JSONL emission; the tier1 label keeps this loop fast
+# enough to run on every change.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCEBINAE_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" -L tier1 --output-on-failure -j "$JOBS"

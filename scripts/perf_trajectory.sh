@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Perf trajectory: run the harness-ported benches at --jobs=1 and
+# --jobs=$(nproc), writing one BENCH_<name>.json summary per (bench, jobs)
+# point under perf/. Successive releases diff these files to track
+# wall-clock and scenarios/sec over time.
+#
+# Usage: scripts/perf_trajectory.sh [build-dir]   (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+NPROC="$(nproc 2>/dev/null || echo 4)"
+OUT_DIR="perf"
+mkdir -p "$OUT_DIR"
+
+BENCHES=(fig01_rtt_timeseries fig10_jfi_timeseries fig08_cdfs fig12_sensitivity)
+
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD_DIR/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "skip: $bin not built" >&2
+    continue
+  fi
+  for jobs in 1 "$NPROC"; do
+    echo "== $bench --jobs=$jobs ==" >&2
+    "$bin" --jobs="$jobs" --perf-out="$OUT_DIR/BENCH_${bench}_j${jobs}.json" >/dev/null
+  done
+done
+
+# Merge the per-point summaries into one trajectory file when python3 is
+# available; the individual JSON files remain the source of truth.
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT_DIR" <<'EOF'
+import glob, json, os, sys
+out_dir = sys.argv[1]
+points = []
+for path in sorted(glob.glob(os.path.join(out_dir, "BENCH_*_j*.json"))):
+    with open(path) as f:
+        points.append(json.load(f))
+with open(os.path.join(out_dir, "BENCH_trajectory.json"), "w") as f:
+    json.dump(points, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.path.join(out_dir, 'BENCH_trajectory.json')} ({len(points)} points)")
+EOF
+fi

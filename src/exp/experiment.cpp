@@ -2,7 +2,10 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdlib>
 #include <exception>
+#include <fstream>
+#include <istream>
 #include <mutex>
 
 #include "exp/thread_pool.hpp"
@@ -54,25 +57,41 @@ std::vector<RunRecord> ExperimentRunner::run(const std::vector<ExperimentJob>& j
     ScenarioConfig cfg = jobs[i].config;
     cfg.seed = derive_seed(opts_.base_seed, i);
 
-    const auto t0 = std::chrono::steady_clock::now();
-    ScenarioResult result = Scenario(cfg).run();
-    const auto t1 = std::chrono::steady_clock::now();
-
     RunRecord rec;
-    rec.result = std::move(result);
     rec.seed = cfg.seed;
-    rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (opts_.skip_completed.count(i) != 0) {
+      // Resumed over: the row is already in the results file.
+      rec.skipped = true;
+    } else {
+      const auto t0 = std::chrono::steady_clock::now();
+      Scenario scenario(cfg);
+      if (jobs[i].trace_period > Time::zero()) {
+        obs::Probe& probe = scenario.enable_trace(jobs[i].trace_period);
+        if (jobs[i].probe_setup) jobs[i].probe_setup(scenario, probe);
+      }
+      rec.result = scenario.run();
+      const auto t1 = std::chrono::steady_clock::now();
+      rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+      rec.trace = scenario.trace().take_rows();
+    }
     records[i] = std::move(rec);
 
     std::lock_guard<std::mutex> lock(emit_mu);
     done[i] = true;
     ++completed;
-    if (opts_.writer != nullptr) {
-      while (next_to_emit < total && done[next_to_emit]) {
-        opts_.writer->write(result_row(jobs[next_to_emit], next_to_emit, opts_.base_seed,
-                                       records[next_to_emit]));
-        ++next_to_emit;
+    while (next_to_emit < total && done[next_to_emit]) {
+      const std::size_t j = next_to_emit;
+      if (!records[j].skipped) {
+        if (opts_.writer != nullptr) {
+          opts_.writer->write(result_row(jobs[j], j, opts_.base_seed, records[j]));
+        }
+        if (opts_.trace_writer != nullptr) {
+          for (const obs::TraceRow& row : records[j].trace) {
+            opts_.trace_writer->write(trace_row(jobs[j], j, records[j].seed, row));
+          }
+        }
       }
+      ++next_to_emit;
     }
     if (opts_.on_progress) opts_.on_progress(completed, total);
   };
@@ -122,6 +141,37 @@ JsonObject result_row(const ExperimentJob& job, std::size_t job_index,
   row.set("jfi", record.result.jfi);
   row.set("wall_s", record.wall_seconds);
   return row;
+}
+
+JsonObject trace_row(const ExperimentJob& job, std::size_t job_index, std::uint64_t seed,
+                     const obs::TraceRow& row) {
+  JsonObject o;
+  o.set("label", job.label);
+  o.set("job_index", static_cast<std::uint64_t>(job_index));
+  o.set("seed", seed);
+  row.write_fields(o);
+  return o;
+}
+
+std::unordered_set<std::uint64_t> completed_job_indices(std::istream& in) {
+  std::unordered_set<std::uint64_t> out;
+  static constexpr std::string_view kKey = "\"job_index\":";
+  std::string line;
+  while (std::getline(in, line)) {
+    // A row interrupted mid-write (killed run) has no closing brace; treat
+    // it as not completed so the job reruns.
+    if (line.empty() || line.back() != '}') continue;
+    const std::size_t pos = line.find(kKey);
+    if (pos == std::string::npos) continue;
+    out.insert(std::strtoull(line.c_str() + pos + kKey.size(), nullptr, 10));
+  }
+  return out;
+}
+
+std::unordered_set<std::uint64_t> completed_job_indices_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return completed_job_indices(in);
 }
 
 }  // namespace cebinae::exp

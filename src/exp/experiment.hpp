@@ -11,10 +11,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "exp/jsonl_writer.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "runner/scenario.hpp"
 
 namespace cebinae::exp {
@@ -29,12 +33,23 @@ struct ExperimentJob {
   ScenarioConfig config;
   std::string label;  // free-form, e.g. "row=3 qdisc=Cebinae trial=1"
   JsonObject params;  // sweep-axis echo, nested into the JSONL row
+
+  // Telemetry: a positive period installs the scenario's standard probe
+  // (Scenario::enable_trace) and the sampled rows land in RunRecord::trace
+  // (and, when Options::trace_writer is set, the sidecar JSONL file).
+  Time trace_period = Time::zero();
+  // Optional hook to add custom samplers; called after the standard probe is
+  // installed, before the scenario runs. Runs on a worker thread, but only
+  // ever touches its own job's Scenario.
+  std::function<void(Scenario&, obs::Probe&)> probe_setup;
 };
 
 struct RunRecord {
   ScenarioResult result;
   std::uint64_t seed = 0;     // the derived seed the job actually ran with
   double wall_seconds = 0.0;  // host wall-clock for this one Scenario
+  bool skipped = false;       // true when resumed over (result is empty)
+  std::vector<obs::TraceRow> trace;  // sampled rows (empty unless traced)
 };
 
 // Min/max/mean/stddev over one metric across trials (population stddev).
@@ -54,6 +69,14 @@ class ExperimentRunner {
     int jobs = 1;                    // worker threads; <1 clamps to 1
     std::uint64_t base_seed = 1;     // per-job seeds derive from this
     JsonlWriter* writer = nullptr;   // optional JSONL sink (not owned)
+    // Optional sidecar sink for time-series rows of traced jobs (not owned).
+    // Rows are emitted in job order, and within a job in sample-time order,
+    // so the sidecar is byte-stable across worker counts.
+    JsonlWriter* trace_writer = nullptr;
+    // Resume support: job indexes already present in an existing results
+    // file. Skipped jobs are not run and not re-emitted; their RunRecord has
+    // skipped=true and only the seed filled in.
+    std::unordered_set<std::uint64_t> skip_completed;
     // Called after each job finishes, serialized, in completion order —
     // progress reporting only; use the returned vector for results.
     std::function<void(std::size_t done, std::size_t total)> on_progress;
@@ -79,5 +102,21 @@ class ExperimentRunner {
 //   goodput_Bps[...], total_goodput_Bps, throughput_Bps[...], jfi, wall_s
 [[nodiscard]] JsonObject result_row(const ExperimentJob& job, std::size_t job_index,
                                     std::uint64_t base_seed, const RunRecord& record);
+
+// One sidecar JSONL row per probe sample: job context + the row's fields.
+// Schema: label, job_index, seed, t_s, then the probe's scalars and arrays
+// (jfi, tput_Bps[...], q_bytes[...], cwnd_bytes[...], srtt_s[...], ceb_*,
+// top_flow[...], net.tx_*, tcp.*; see DESIGN.md §9).
+[[nodiscard]] JsonObject trace_row(const ExperimentJob& job, std::size_t job_index,
+                                   std::uint64_t seed, const obs::TraceRow& row);
+
+// Scan an existing results JSONL stream and collect the job_index of every
+// complete row (a line that parses to the end brace). Used by resumable
+// sweeps to skip already-finished jobs after a killed run.
+[[nodiscard]] std::unordered_set<std::uint64_t> completed_job_indices(std::istream& in);
+
+// File convenience: empty set when the file does not exist or is empty.
+[[nodiscard]] std::unordered_set<std::uint64_t> completed_job_indices_file(
+    const std::string& path);
 
 }  // namespace cebinae::exp

@@ -104,13 +104,14 @@ JsonObject& JsonObject::set(std::string_view k, const JsonObject& v) {
   return *this;
 }
 
-JsonlWriter::JsonlWriter(std::string path) : path_(std::move(path)) {
+JsonlWriter::JsonlWriter(std::string path, Mode mode) : path_(std::move(path)) {
   if (path_.empty()) return;
   if (path_ == "-") {
     out_ = &std::cout;
     return;
   }
-  auto file = std::make_unique<std::ofstream>(path_, std::ios::out | std::ios::trunc);
+  auto file = std::make_unique<std::ofstream>(
+      path_, std::ios::out | (mode == Mode::kAppend ? std::ios::app : std::ios::trunc));
   if (!*file) throw std::runtime_error("JsonlWriter: cannot open " + path_);
   owns_ = std::move(file);
   out_ = owns_.get();

@@ -51,9 +51,12 @@ class JsonObject {
 
 class JsonlWriter {
  public:
+  enum class Mode { kTruncate, kAppend };
+
   // Empty path disables the writer (write() becomes a no-op); "-" streams to
-  // stdout. Throws std::runtime_error if the file cannot be opened.
-  explicit JsonlWriter(std::string path);
+  // stdout. kAppend keeps existing rows (used by resumable sweeps). Throws
+  // std::runtime_error if the file cannot be opened.
+  explicit JsonlWriter(std::string path, Mode mode = Mode::kTruncate);
   ~JsonlWriter();
 
   JsonlWriter(const JsonlWriter&) = delete;

@@ -8,7 +8,7 @@
 namespace cebinae {
 
 Device::Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_delay,
-               std::unique_ptr<QueueDisc> qdisc)
+               std::unique_ptr<QueueDisc> qdisc, obs::MetricsRegistry* metrics)
     : sched_(sched),
       owner_(owner),
       rate_bps_(rate_bps),
@@ -16,6 +16,10 @@ Device::Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_
       qdisc_(std::move(qdisc)) {
   assert(rate_bps_ > 0);
   assert(qdisc_ != nullptr);
+  if (metrics != nullptr) {
+    tx_bytes_metric_ = &metrics->counter("net.tx_bytes");
+    tx_packets_metric_ = &metrics->counter("net.tx_packets");
+  }
 }
 
 Node& Device::peer_node() {
@@ -37,6 +41,10 @@ void Device::try_transmit() {
   const Time tx_time = serialization_delay(pkt->size_bytes);
   tx_bytes_ += pkt->size_bytes;
   ++tx_packets_;
+  if (tx_bytes_metric_ != nullptr) {
+    tx_bytes_metric_->add(pkt->size_bytes);
+    tx_packets_metric_->inc();
+  }
 
   sched_.schedule(tx_time, [this] {
     busy_ = false;

@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "queueing/queue_disc.hpp"
 #include "sim/scheduler.hpp"
 
@@ -18,8 +19,10 @@ class Node;
 
 class Device {
  public:
+  // `metrics` (optional) aggregates transmit accounting across every device
+  // of a network into the "net.tx_bytes"/"net.tx_packets" counters.
   Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_delay,
-         std::unique_ptr<QueueDisc> qdisc);
+         std::unique_ptr<QueueDisc> qdisc, obs::MetricsRegistry* metrics = nullptr);
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -58,6 +61,8 @@ class Device {
   bool busy_ = false;
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t tx_packets_ = 0;
+  obs::Counter* tx_bytes_metric_ = nullptr;    // network-wide aggregates; may be null
+  obs::Counter* tx_packets_metric_ = nullptr;
 };
 
 }  // namespace cebinae

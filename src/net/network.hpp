@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/node.hpp"
+#include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
 
@@ -17,6 +18,11 @@ class Network {
 
   [[nodiscard]] Scheduler& scheduler() { return sched_; }
   [[nodiscard]] RandomStream& rng() { return rng_; }
+  // Per-network metrics registry: instrumented components (devices, sockets,
+  // qdiscs) register counters here; probes sample it. Never shared across
+  // Networks, so parallel scenarios stay isolated.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   Node& add_node();
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
@@ -47,6 +53,7 @@ class Network {
 
   Scheduler sched_;
   RandomStream rng_;
+  obs::MetricsRegistry metrics_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Edge> edges_;
 };

@@ -1,0 +1,69 @@
+// Scheduler-driven telemetry probe.
+//
+// A Probe fires on the deterministic event scheduler every `period`,
+// starting at now + period. Each tick builds one TraceRow stamped with the
+// simulation time and runs the registered samplers over it in registration
+// order, then pushes the row into the sink. Because ticks are ordinary
+// scheduler events, sampling is exactly reproducible: the same seed and
+// schedule yield the same rows regardless of host threads or wall clock.
+//
+// Probe ticks scheduled at time T run before same-timestamp packet events
+// that were scheduled later (FIFO tie-break), so a tick at T observes the
+// simulation state as of "just before T" — a half-open [T-period, T) sample
+// window for windowed rates.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cebinae::obs {
+
+class Probe {
+ public:
+  Probe(Scheduler& sched, Time period, TraceSink& sink)
+      : sched_(sched), period_(period), sink_(sink) {}
+
+  ~Probe() { stop(); }
+  Probe(const Probe&) = delete;
+  Probe& operator=(const Probe&) = delete;
+
+  // Samplers run in registration order on every tick.
+  void add_sampler(std::function<void(Time now, TraceRow& row)> fn) {
+    samplers_.push_back(std::move(fn));
+  }
+  void add_scalar(std::string name, std::function<double(Time now)> fn);
+  void add_array(std::string name, std::function<std::vector<double>(Time now)> fn);
+
+  // Snapshot every registered metric of `reg` on each tick. The registry
+  // must outlive the probe (it does: both are owned by the scenario's
+  // Network / Scenario).
+  void sample_registry(const MetricsRegistry& reg);
+
+  // First tick at now + period, then every period until stop().
+  void start();
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_; }
+  [[nodiscard]] Time period() const { return period_; }
+  [[nodiscard]] std::uint64_t ticks() const { return ticks_; }
+  [[nodiscard]] TraceSink& sink() { return sink_; }
+
+ private:
+  void tick();
+
+  Scheduler& sched_;
+  Time period_;
+  TraceSink& sink_;
+  std::vector<std::function<void(Time, TraceRow&)>> samplers_;
+  EventId pending_;
+  bool running_ = false;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace cebinae::obs

@@ -1,0 +1,55 @@
+#include "obs/trace.hpp"
+
+#include <limits>
+
+namespace cebinae::obs {
+
+double TraceRow::scalar(std::string_view name) const {
+  for (const auto& [k, v] : scalars_) {
+    if (k == name) return v;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+const std::vector<double>* TraceRow::array(std::string_view name) const {
+  for (const auto& [k, v] : arrays_) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void TraceRow::write_fields(exp::JsonObject& obj) const {
+  obj.set("t_s", t_s_);
+  for (const auto& [k, v] : scalars_) obj.set(k, v);
+  for (const auto& [k, v] : arrays_) obj.set(k, v);
+}
+
+exp::JsonObject TraceRow::to_json() const {
+  exp::JsonObject obj;
+  write_fields(obj);
+  return obj;
+}
+
+std::vector<double> TraceSink::series_of(const std::vector<TraceRow>& rows,
+                                         std::string_view scalar_name) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const TraceRow& row : rows) out.push_back(row.scalar(scalar_name));
+  return out;
+}
+
+std::vector<double> TraceSink::array_series_of(const std::vector<TraceRow>& rows,
+                                               std::string_view array_name,
+                                               std::size_t index) {
+  std::vector<double> out;
+  out.reserve(rows.size());
+  for (const TraceRow& row : rows) {
+    const std::vector<double>* arr = row.array(array_name);
+    out.push_back(arr != nullptr && index < arr->size()
+                      ? (*arr)[index]
+                      : std::numeric_limits<double>::quiet_NaN());
+  }
+  return out;
+}
+
+}  // namespace cebinae::obs

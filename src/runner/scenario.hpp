@@ -20,6 +20,8 @@
 #include "metrics/flow_stats.hpp"
 #include "metrics/maxmin.hpp"
 #include "net/network.hpp"
+#include "obs/probe.hpp"
+#include "obs/trace.hpp"
 #include "queueing/afq.hpp"
 #include "queueing/fq_codel.hpp"
 #include "queueing/token_bucket.hpp"
@@ -76,6 +78,18 @@ class Scenario {
   // Fire `fn(now)` every `period` for the whole run (time-series probes).
   void add_probe(Time period, std::function<void(Time)> fn);
 
+  // Install the standard telemetry probe: every `period` it snapshots the
+  // network's MetricsRegistry plus the computed series the paper's figures
+  // need — per-flow windowed throughput and JFI(t), per-bottleneck queue
+  // depth/drops/ECN marks, per-flow cwnd and srtt, and (under Cebinae) LBF
+  // rotations, ⊤/⊥ classification state, delayed/dropped counts, and cache
+  // occupancy. Rows accumulate in trace(); returns the probe so callers can
+  // add custom samplers before run(). Call at most once, before run().
+  obs::Probe& enable_trace(Time period);
+
+  [[nodiscard]] obs::TraceSink& trace() { return trace_sink_; }
+  [[nodiscard]] bool tracing() const { return trace_probe_ != nullptr; }
+
   // Accessors ---------------------------------------------------------------
   [[nodiscard]] Network& network() { return *net_; }
   [[nodiscard]] FlowStatsCollector& stats() { return stats_; }
@@ -115,6 +129,8 @@ class Scenario {
   std::vector<std::unique_ptr<CebinaeAgent>> agents_;
   std::vector<CebinaeQueueDisc*> cebinae_qdiscs_;
   std::vector<std::unique_ptr<PacketGenerator>> probes_;
+  obs::TraceSink trace_sink_;
+  std::unique_ptr<obs::Probe> trace_probe_;
 };
 
 }  // namespace cebinae

@@ -17,6 +17,7 @@
 
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/congestion_control.hpp"
 #include "tcp/rtt_estimator.hpp"
@@ -73,6 +74,10 @@ class TcpSender final : public PacketSink {
     bool sack = true;
     Time start_time;
     Time stop_time = Time::max();  // stop offering new data after this time
+    // Optional observability hookup (the owning Network's registry).
+    // Aggregated across senders: "tcp.retransmits", "tcp.rtos",
+    // "tcp.fast_retransmits" counters and a "tcp.srtt_s" sample histogram.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   TcpSender(Scheduler& sched, Node& local, std::unique_ptr<CongestionControl> cc, Config config);
@@ -182,6 +187,12 @@ class TcpSender final : public PacketSink {
   std::uint64_t rto_count_ = 0;
   std::uint64_t fast_retransmits_ = 0;
   bool started_ = false;
+
+  // Aggregate metric cells (null when the socket runs unregistered).
+  obs::Counter* m_retransmits_ = nullptr;
+  obs::Counter* m_rtos_ = nullptr;
+  obs::Counter* m_fast_retransmits_ = nullptr;
+  obs::Histogram* m_srtt_ = nullptr;
 };
 
 }  // namespace cebinae

@@ -12,6 +12,7 @@ BulkFlow::BulkFlow(Network& net, Node& src, Node& dst, const Spec& spec,
   cfg.stop_time = spec.stop_time;
   cfg.bytes_to_send = spec.bytes_to_send;
   cfg.ecn_capable = spec.ecn;
+  cfg.metrics = &net.metrics();
 
   sender_ = std::make_unique<TcpSender>(net.scheduler(), src, make_cc(spec.cca), cfg);
   receiver_ = std::make_unique<TcpReceiver>(net.scheduler(), dst, flow);

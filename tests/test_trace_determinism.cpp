@@ -1,0 +1,206 @@
+// Telemetry determinism contract: the trace sidecar produced by a traced
+// batch is byte-identical for any --jobs count and across same-seed reruns,
+// and resumable sweeps complete a truncated results file without disturbing
+// the rows already on disk.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace cebinae::exp {
+namespace {
+
+std::vector<ExperimentJob> traced_batch() {
+  ScenarioConfig base;
+  base.bottleneck_bps = 20'000'000;
+  base.buffer_bytes = 64ull * kMtuBytes;
+  base.duration = Milliseconds(400);
+  base.flows = flows_of(CcaType::kNewReno, 2, Milliseconds(10));
+
+  std::vector<ExperimentJob> jobs;
+  for (QdiscKind qdisc : {QdiscKind::kFifo, QdiscKind::kCebinae}) {
+    ExperimentJob job;
+    job.config = base;
+    job.config.qdisc = qdisc;
+    job.label = std::string(to_string(qdisc));
+    job.trace_period = Milliseconds(100);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::string run_traced(int workers, const std::string& path,
+                       std::vector<RunRecord>* records_out = nullptr) {
+  {
+    JsonlWriter trace_writer(path);
+    ExperimentRunner::Options opts;
+    opts.jobs = workers;
+    opts.base_seed = 11;
+    opts.trace_writer = &trace_writer;
+    std::vector<RunRecord> records = ExperimentRunner(opts).run(traced_batch());
+    if (records_out != nullptr) *records_out = std::move(records);
+  }
+  std::ifstream in(path);
+  std::ostringstream content;
+  content << in.rdbuf();
+  return content.str();
+}
+
+TEST(TraceDeterminism, SidecarIsByteIdenticalAcrossWorkerCountsAndReruns) {
+  const std::string p1 = ::testing::TempDir() + "cebinae_trace_j1.jsonl";
+  const std::string p4 = ::testing::TempDir() + "cebinae_trace_j4.jsonl";
+  const std::string p1b = ::testing::TempDir() + "cebinae_trace_j1b.jsonl";
+  const std::string serial = run_traced(1, p1);
+  const std::string parallel = run_traced(4, p4);
+  const std::string rerun = run_traced(1, p1b);
+  ASSERT_FALSE(serial.empty());
+  // Trace rows carry no wall-clock field, so whole files compare equal.
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(serial, rerun);
+  std::remove(p1.c_str());
+  std::remove(p4.c_str());
+  std::remove(p1b.c_str());
+}
+
+TEST(TraceDeterminism, RecordsCarrySampledRowsWithTheDocumentedSchema) {
+  const std::string path = ::testing::TempDir() + "cebinae_trace_schema.jsonl";
+  std::vector<RunRecord> records;
+  (void)run_traced(2, path, &records);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(records.size(), 2u);
+  for (const RunRecord& rec : records) {
+    // 400 ms at a 100 ms period: ticks at 0.1..0.4 (run_until is inclusive).
+    ASSERT_EQ(rec.trace.size(), 4u);
+    EXPECT_DOUBLE_EQ(rec.trace[0].t_s(), 0.1);
+    EXPECT_DOUBLE_EQ(rec.trace[3].t_s(), 0.4);
+    for (const obs::TraceRow& row : rec.trace) {
+      EXPECT_GE(row.scalar("jfi"), 0.0);
+      ASSERT_NE(row.array("tput_Bps"), nullptr);
+      EXPECT_EQ(row.array("tput_Bps")->size(), 2u);  // one slot per flow
+      ASSERT_NE(row.array("q_bytes"), nullptr);
+      ASSERT_NE(row.array("cwnd_bytes"), nullptr);
+      ASSERT_NE(row.array("srtt_s"), nullptr);
+      // Component-registered aggregates flow through sample_registry.
+      EXPECT_GT(row.scalar("net.tx_bytes"), 0.0);
+    }
+  }
+  // Cebinae-only arrays appear only on the Cebinae job's rows.
+  EXPECT_EQ(records[0].trace[0].array("ceb_rotations"), nullptr);
+  ASSERT_NE(records[1].trace[0].array("ceb_rotations"), nullptr);
+  ASSERT_NE(records[1].trace[0].array("top_flow"), nullptr);
+  EXPECT_EQ(records[1].trace[0].array("top_flow")->size(), 2u);
+}
+
+TEST(TraceDeterminism, ProbeSetupHookAddsCustomColumns) {
+  std::vector<ExperimentJob> jobs = traced_batch();
+  for (ExperimentJob& job : jobs) {
+    job.probe_setup = [](Scenario& scenario, obs::Probe& probe) {
+      probe.add_scalar("events", [&scenario](Time) {
+        return static_cast<double>(scenario.network().scheduler().executed_events());
+      });
+    };
+  }
+  ExperimentRunner::Options opts;
+  opts.jobs = 2;
+  opts.base_seed = 11;
+  const std::vector<RunRecord> records = ExperimentRunner(opts).run(jobs);
+  for (const RunRecord& rec : records) {
+    ASSERT_EQ(rec.trace.size(), 4u);
+    EXPECT_GT(rec.trace[0].scalar("events"), 0.0);
+  }
+}
+
+// --- resumable sweeps -----------------------------------------------------
+
+TEST(CompletedJobIndices, ParsesCompleteRowsOnly) {
+  std::istringstream in(
+      "{\"label\":\"a\",\"job_index\":0,\"jfi\":1}\n"
+      "not json at all\n"
+      "{\"label\":\"b\",\"job_index\":3,\"jfi\":0.5}\n"
+      "{\"label\":\"c\",\"job_index\":5,\"jfi\":0.2");  // killed mid-write
+  const auto done = completed_job_indices(in);
+  EXPECT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done.count(0));
+  EXPECT_TRUE(done.count(3));
+  EXPECT_FALSE(done.count(5));  // no closing brace -> job reruns
+}
+
+TEST(CompletedJobIndices, MissingFileYieldsEmptySet) {
+  EXPECT_TRUE(completed_job_indices_file("/nonexistent/cebinae.jsonl").empty());
+}
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// Strips the (intentionally non-deterministic) wall-clock field.
+std::string strip_wall(const std::string& line) {
+  const std::size_t pos = line.find(",\"wall_s\":");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+TEST(ResumableSweep, SkipsCompletedJobsAndCompletesTheFile) {
+  const std::string full_path = ::testing::TempDir() + "cebinae_resume_full.jsonl";
+  const std::string resumed_path = ::testing::TempDir() + "cebinae_resume_part.jsonl";
+
+  const std::vector<ExperimentJob> jobs = traced_batch();
+  auto run = [&jobs](JsonlWriter& writer, std::unordered_set<std::uint64_t> skip) {
+    ExperimentRunner::Options opts;
+    opts.jobs = 2;
+    opts.base_seed = 11;
+    opts.writer = &writer;
+    opts.skip_completed = std::move(skip);
+    return ExperimentRunner(opts).run(jobs);
+  };
+
+  {
+    JsonlWriter writer(full_path);
+    (void)run(writer, {});
+  }
+  const std::vector<std::string> full = read_lines(full_path);
+  ASSERT_EQ(full.size(), 2u);
+
+  // Simulate a killed sweep: only job 0's row made it to disk.
+  {
+    std::ofstream out(resumed_path, std::ios::trunc);
+    out << full[0] << '\n';
+  }
+  const auto done = completed_job_indices_file(resumed_path);
+  ASSERT_EQ(done.size(), 1u);
+  ASSERT_TRUE(done.count(0));
+
+  std::vector<RunRecord> records;
+  {
+    JsonlWriter writer(resumed_path, JsonlWriter::Mode::kAppend);
+    records = run(writer, done);
+  }
+  // Job 0 was resumed over: not re-run, seed still derived for bookkeeping.
+  EXPECT_TRUE(records[0].skipped);
+  EXPECT_EQ(records[0].seed, derive_seed(11, 0));
+  EXPECT_TRUE(records[0].trace.empty());
+  EXPECT_FALSE(records[1].skipped);
+  EXPECT_EQ(records[1].trace.size(), 4u);
+
+  // The resumed file holds the original job-0 row plus a fresh job-1 row
+  // equal (modulo wall clock) to the full run's.
+  const std::vector<std::string> resumed = read_lines(resumed_path);
+  ASSERT_EQ(resumed.size(), 2u);
+  EXPECT_EQ(resumed[0], full[0]);
+  EXPECT_EQ(strip_wall(resumed[1]), strip_wall(full[1]));
+
+  std::remove(full_path.c_str());
+  std::remove(resumed_path.c_str());
+}
+
+}  // namespace
+}  // namespace cebinae::exp
