@@ -1,0 +1,110 @@
+// Figure 1: goodput time series of two NewReno flows with RTTs 20.4 ms and
+// 40 ms sharing one bottleneck, under FIFO and under Cebinae, along with
+// Cebinae's port state (unsaturated / which flow is bottlenecked).
+//
+// The per-second series come from the trace probe's sampled rows
+// (tput_Bps / ceb_saturated / top_flow). With --trials=N the table shows
+// trial 0 and the steady-state ratio line aggregates across trials.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "obs/trace.hpp"
+#include "runner/scenario.hpp"
+
+namespace cebinae {
+namespace {
+
+// '-' unsaturated, '0'/'1' flow 0/1 is in the top (bottlenecked) set, 'B' both.
+char state_char(const obs::TraceRow& row) {
+  const std::vector<double>* saturated = row.array("ceb_saturated");
+  const std::vector<double>* top = row.array("top_flow");
+  if (saturated == nullptr || top == nullptr || saturated->empty()) return '-';
+  if ((*saturated)[0] == 0.0) return '-';
+  const bool has0 = top->size() > 0 && (*top)[0] != 0.0;
+  const bool has1 = top->size() > 1 && (*top)[1] != 0.0;
+  return has0 && has1 ? 'B' : (has0 ? '0' : (has1 ? '1' : '-'));
+}
+
+double flow_mbps(const obs::TraceRow& row, std::size_t flow) {
+  const std::vector<double>* tput = row.array("tput_Bps");
+  return tput != nullptr && flow < tput->size() ? exp::to_mbps((*tput)[flow]) : 0.0;
+}
+
+// Short-RTT over long-RTT goodput, averaged over the second half of a trace.
+double tail_ratio(const std::vector<obs::TraceRow>& trace) {
+  if (trace.empty()) return 0.0;
+  double f0 = 0, f1 = 0;
+  for (std::size_t i = trace.size() / 2; i < trace.size(); ++i) {
+    f0 += flow_mbps(trace[i], 0);
+    f1 += flow_mbps(trace[i], 1);
+  }
+  return f1 > 0.0 ? f0 / f1 : 0.0;
+}
+
+std::vector<exp::ExperimentJob> make_jobs(const exp::RunOptions& opts) {
+  // 100 Mbps so NewReno's additive increase converges within the plotted
+  // window (see EXPERIMENTS.md on timescale scaling).
+  ScenarioConfig base;
+  base.bottleneck_bps = 100'000'000;
+  base.buffer_bytes = 850ull * kMtuBytes;
+  base.duration = opts.scaled(Seconds(60), Seconds(30));
+  base.flows = {FlowSpec{CcaType::kNewReno, MillisecondsF(20.4)},
+                FlowSpec{CcaType::kNewReno, Milliseconds(40)}};
+
+  std::vector<exp::ExperimentJob> jobs;
+  for (QdiscKind qdisc : {QdiscKind::kFifo, QdiscKind::kCebinae}) {
+    exp::ExperimentJob job;
+    job.config = base;
+    job.config.qdisc = qdisc;
+    job.label = "qdisc=" + std::string(to_string(qdisc));
+    job.params.set("qdisc", std::string(to_string(qdisc)));
+    job.trace_period = opts.trace_period(Seconds(1));
+    jobs.push_back(std::move(job));
+  }
+  return exp::replicate_trials(std::move(jobs), opts.trials_or(1));
+}
+
+void ratio_metric(const exp::ExperimentJob&, const exp::RunRecord& rec,
+                  std::vector<std::pair<std::string, double>>& out) {
+  out.emplace_back("tail_ratio", tail_ratio(rec.trace));
+}
+
+void report(const exp::RunOptions&, const std::vector<exp::ResultRow>& rows) {
+  if (rows.size() < 2) return;
+  auto first_trace = [](const exp::ResultRow& r) -> const std::vector<obs::TraceRow>& {
+    static const std::vector<obs::TraceRow> kEmpty;
+    return r.trials.empty() || r.trials[0] == nullptr ? kEmpty : r.trials[0]->trace;
+  };
+  const std::vector<obs::TraceRow>& fifo = first_trace(rows[0]);
+  const std::vector<obs::TraceRow>& ceb = first_trace(rows[1]);
+  if (fifo.empty() || ceb.empty()) return;
+
+  std::printf("%4s  %14s %14s   %14s %14s  %s\n", "t[s]", "FIFO rtt20[Mb]",
+              "FIFO rtt40[Mb]", "Ceb rtt20[Mb]", "Ceb rtt40[Mb]", "Ceb state");
+  const std::size_t n = std::min(fifo.size(), ceb.size());
+  for (std::size_t s = 0; s < n; ++s) {
+    std::printf("%4.0f  %14.1f %14.1f   %14.1f %14.1f  %c\n", fifo[s].t_s(),
+                flow_mbps(fifo[s], 0), flow_mbps(fifo[s], 1), flow_mbps(ceb[s], 0),
+                flow_mbps(ceb[s], 1), state_char(ceb[s]));
+  }
+  std::printf("\nsteady-state goodput ratio (short/long RTT): FIFO %s, Cebinae %s\n",
+              exp::pm(*rows[0].metric("tail_ratio"), 2).c_str(),
+              exp::pm(*rows[1].metric("tail_ratio"), 2).c_str());
+}
+
+const exp::Registration registration{exp::ExperimentSpec{
+    "fig01",
+    "Figure 1: RTT unfairness time series (2x NewReno, 20.4/40 ms)",
+    "2-flow RTT unfairness time series with Cebinae port state",
+    1,
+    make_jobs,
+    ratio_metric,
+    report,
+}};
+
+}  // namespace
+}  // namespace cebinae

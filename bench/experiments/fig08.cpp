@@ -1,0 +1,125 @@
+// Figure 8: per-flow goodput CDFs.
+//   (a) 128 NewReno vs 2 BBR over 1 Gbps — Cebinae prevents the BBR flows
+//       from claiming an outsized share.
+//   (b) 128 NewReno (64 ms RTT) vs 4 Vegas (100 ms RTT) over 1 Gbps —
+//       Cebinae mitigates Vegas starvation.
+//
+// With --trials=N the CDFs pool the per-flow goodputs of every trial, and
+// the minority-share summary lines aggregate per trial (mean ± stddev).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exp/registry.hpp"
+#include "exp/report.hpp"
+#include "exp/sweep_grid.hpp"
+#include "runner/scenario.hpp"
+
+namespace cebinae {
+namespace {
+
+// Flows past this index are the minority CCA (BBR or Vegas) in both mixes.
+constexpr std::size_t kMajorityFlows = 128;
+
+std::vector<exp::ExperimentJob> make_jobs(const exp::RunOptions& opts) {
+  ScenarioConfig common;
+  common.bottleneck_bps = 1'000'000'000;
+  common.duration = opts.scaled(Seconds(100), Seconds(12));
+  common.flows = {FlowSpec{}};  // placeholder, replaced per mix
+  return exp::SweepGrid(common)
+      .variants(
+          "mix",
+          {{"reno128_bbr2",
+            [](ScenarioConfig& cfg) {
+              // (a) 128 NewReno + 2 BBR, equal 100 ms RTTs, 8350 MTU
+              // (~1 BDP) buffer (Table 2's row for this mix).
+              cfg.buffer_bytes = 8350ull * kMtuBytes;
+              cfg.flows = flows_of(CcaType::kNewReno, 128, Milliseconds(100));
+              cfg.flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
+              cfg.flows.push_back(FlowSpec{CcaType::kBbr, Milliseconds(100)});
+            }},
+           {"reno128_vegas4",
+            [](ScenarioConfig& cfg) {
+              // (b) 128 NewReno @64 ms + 4 Vegas @100 ms.
+              cfg.buffer_bytes = 8500ull * kMtuBytes;
+              cfg.flows = flows_of(CcaType::kNewReno, 128, Milliseconds(64));
+              for (int i = 0; i < 4; ++i) {
+                cfg.flows.push_back(FlowSpec{CcaType::kVegas, Milliseconds(100)});
+              }
+            }}})
+      .qdiscs({QdiscKind::kFifo, QdiscKind::kCebinae})
+      .trials(opts.trials_or(1))
+      .build();
+}
+
+void minority_metrics(const exp::ExperimentJob&, const exp::RunRecord& rec,
+                      std::vector<std::pair<std::string, double>>& out) {
+  const std::vector<double>& g = rec.result.goodput_Bps;
+  if (g.size() <= kMajorityFlows) return;
+  double minority = 0.0;
+  for (std::size_t i = kMajorityFlows; i < g.size(); ++i) minority += g[i];
+  const double n = static_cast<double>(g.size() - kMajorityFlows);
+  if (rec.result.total_goodput_Bps > 0.0) {
+    out.emplace_back("minority_share_pct", 100.0 * minority / rec.result.total_goodput_Bps);
+  }
+  out.emplace_back("minority_mean_mbps", exp::to_mbps(minority / n));
+}
+
+// Per-flow goodputs of every (non-skipped) trial, pooled into one sample set.
+std::vector<double> pooled_goodputs(const exp::ResultRow& row) {
+  std::vector<double> out;
+  for (const exp::RunRecord* rec : row.trials) {
+    if (rec == nullptr || rec->skipped) continue;
+    out.insert(out.end(), rec->result.goodput_Bps.begin(), rec->result.goodput_Bps.end());
+  }
+  return out;
+}
+
+void print_cdf(const char* label, std::vector<double> fifo, std::vector<double> ceb) {
+  if (fifo.empty() || ceb.empty()) return;
+  std::sort(fifo.begin(), fifo.end());
+  std::sort(ceb.begin(), ceb.end());
+  std::printf("\n--- %s: goodput CDF [Mbps] ---\n", label);
+  std::printf("%8s %14s %14s\n", "CDF", "FIFO", "Cebinae");
+  for (double q : {0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0}) {
+    std::printf("%8.2f %14.3f %14.3f\n", q,
+                exp::to_mbps(fifo[static_cast<std::size_t>(q * (fifo.size() - 1))]),
+                exp::to_mbps(ceb[static_cast<std::size_t>(q * (ceb.size() - 1))]));
+  }
+}
+
+void report(const exp::RunOptions&, const std::vector<exp::ResultRow>& rows) {
+  // Grid order: mix outermost, qdisc inner, so rows are
+  // [bbr/FIFO, bbr/Ceb, vegas/FIFO, vegas/Ceb].
+  if (rows.size() < 4) return;
+  auto line = [](const char* what, const exp::ResultRow& fifo, const exp::ResultRow& ceb,
+                 const char* metric, const char* unit, int prec) {
+    const exp::Aggregate* f = fifo.metric(metric);
+    const exp::Aggregate* c = ceb.metric(metric);
+    if (f == nullptr || c == nullptr) return;
+    std::printf("%s: FIFO %s%s  Cebinae %s%s\n", what, exp::pm(*f, prec).c_str(), unit,
+                exp::pm(*c, prec).c_str(), unit);
+  };
+
+  print_cdf("(a) 128 NewReno vs 2 BBR", pooled_goodputs(rows[0]), pooled_goodputs(rows[1]));
+  line("BBR aggregate share", rows[0], rows[1], "minority_share_pct", "%", 1);
+  line("JFI", rows[0], rows[1], "jfi", "", 3);
+
+  print_cdf("(b) 128 NewReno vs 4 Vegas", pooled_goodputs(rows[2]), pooled_goodputs(rows[3]));
+  line("Vegas mean goodput", rows[2], rows[3], "minority_mean_mbps", " Mbps", 3);
+  line("JFI", rows[2], rows[3], "jfi", "", 3);
+}
+
+const exp::Registration registration{exp::ExperimentSpec{
+    "fig08",
+    "Figure 8: goodput CDFs, aggressive/starved CCA mixes at 1 Gbps",
+    "goodput CDFs for 128 NewReno vs 2 BBR / 4 Vegas at 1 Gbps",
+    1,
+    make_jobs,
+    minority_metrics,
+    report,
+}};
+
+}  // namespace
+}  // namespace cebinae

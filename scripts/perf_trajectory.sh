@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Perf trajectory: run the harness-ported benches at --jobs=1 and
-# --jobs=$(nproc), writing one BENCH_<name>.json summary per (bench, jobs)
-# point under perf/. Successive releases diff these files to track
-# wall-clock and scenarios/sec over time.
+# Perf trajectory: run a representative set of registered experiments
+# through `cebinae_bench` at --jobs=1 and --jobs=$(nproc), writing one
+# BENCH_<name>.json summary per (experiment, jobs) point under perf/.
+# Successive releases diff these files to track wall-clock and
+# scenarios/sec over time.
 #
 # Usage: scripts/perf_trajectory.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -13,17 +14,19 @@ NPROC="$(nproc 2>/dev/null || echo 4)"
 OUT_DIR="perf"
 mkdir -p "$OUT_DIR"
 
-BENCHES=(fig01_rtt_timeseries fig10_jfi_timeseries fig08_cdfs fig12_sensitivity)
+BENCH="$BUILD_DIR/bench/cebinae_bench"
+if [[ ! -x "$BENCH" ]]; then
+  echo "error: $BENCH not built" >&2
+  exit 1
+fi
 
-for bench in "${BENCHES[@]}"; do
-  bin="$BUILD_DIR/bench/$bench"
-  if [[ ! -x "$bin" ]]; then
-    echo "skip: $bin not built" >&2
-    continue
-  fi
+EXPERIMENTS=(fig01 fig10 fig08 fig12)
+
+for name in "${EXPERIMENTS[@]}"; do
   for jobs in 1 "$NPROC"; do
-    echo "== $bench --jobs=$jobs ==" >&2
-    "$bin" --jobs="$jobs" --perf-out="$OUT_DIR/BENCH_${bench}_j${jobs}.json" >/dev/null
+    echo "== $name --jobs=$jobs ==" >&2
+    "$BENCH" --experiment="$name" --jobs="$jobs" \
+      --perf-out="$OUT_DIR/BENCH_${name}_j${jobs}.json" >/dev/null
   done
 done
 

@@ -48,7 +48,7 @@ bool CebinaeQueueDisc::enqueue(Packet pkt) {
                                                            : 1 - lbf_.head_index();
   qbytes_[q] += pkt.size_bytes;
   ++stats_.enqueued_packets;
-  q_[q].push_back(std::move(pkt));
+  q_[q].push_back(TimestampedPacket{std::move(pkt), sojourn_now()});
   return true;
 }
 
@@ -56,18 +56,19 @@ std::optional<Packet> CebinaeQueueDisc::dequeue() {
   const int head = lbf_.head_index();
   for (int q : {head, 1 - head}) {
     if (q_[q].empty()) continue;
-    Packet pkt = std::move(q_[q].front());
+    TimestampedPacket tp = std::move(q_[q].front());
     q_[q].pop_front();
-    qbytes_[q] -= pkt.size_bytes;
+    qbytes_[q] -= tp.pkt.size_bytes;
 
     // Egress pipeline: per-port byte counter and heavy-hitter cache see
     // transmitted traffic only.
-    port_.on_transmit(pkt.size_bytes);
-    cache_.add(pkt.flow, pkt.size_bytes);
+    port_.on_transmit(tp.pkt.size_bytes);
+    cache_.add(tp.pkt.flow, tp.pkt.size_bytes);
 
     ++stats_.dequeued_packets;
-    stats_.dequeued_bytes += pkt.size_bytes;
-    return pkt;
+    stats_.dequeued_bytes += tp.pkt.size_bytes;
+    record_sojourn(tp.enqueued);
+    return std::move(tp.pkt);
   }
   return std::nullopt;
 }

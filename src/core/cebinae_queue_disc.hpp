@@ -66,7 +66,7 @@ class CebinaeQueueDisc final : public QueueDisc {
   PortSaturationDetector port_;
   std::unordered_set<FlowId, FlowIdHash> top_flows_;
 
-  std::deque<Packet> q_[2];
+  std::deque<TimestampedPacket> q_[2];
   std::uint64_t qbytes_[2] = {0, 0};
 
   std::uint64_t delayed_packets_ = 0;

@@ -62,6 +62,11 @@ std::vector<RunRecord> ExperimentRunner::run(const std::vector<ExperimentJob>& j
     if (opts_.skip_completed.count(i) != 0) {
       // Resumed over: the row is already in the results file.
       rec.skipped = true;
+    } else if (jobs[i].custom) {
+      const auto t0 = std::chrono::steady_clock::now();
+      rec.extra = jobs[i].custom(cfg.seed);
+      const auto t1 = std::chrono::steady_clock::now();
+      rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     } else {
       const auto t0 = std::chrono::steady_clock::now();
       Scenario scenario(cfg);
@@ -126,19 +131,23 @@ JsonObject result_row(const ExperimentJob& job, std::size_t job_index,
   JsonObject row;
   row.set("label", job.label);
   if (!job.params.empty()) row.set("params", job.params);
-  row.set("qdisc", to_string(job.config.qdisc));
   row.set("job_index", static_cast<std::uint64_t>(job_index));
   row.set("base_seed", base_seed);
   row.set("seed", record.seed);
-  row.set("n_flows", static_cast<std::uint64_t>(job.config.flows.size()));
-  row.set("chain_links", job.config.chain_links);
-  row.set("bottleneck_bps", job.config.bottleneck_bps);
-  row.set("buffer_bytes", job.config.buffer_bytes);
-  row.set("duration_s", job.config.duration.seconds());
-  row.set("goodput_Bps", record.result.goodput_Bps);
-  row.set("total_goodput_Bps", record.result.total_goodput_Bps);
-  row.set("throughput_Bps", record.result.throughput_Bps);
-  row.set("jfi", record.result.jfi);
+  if (!job.custom) {
+    row.set("qdisc", to_string(job.config.qdisc));
+    row.set("n_flows", static_cast<std::uint64_t>(job.config.flows.size()));
+    row.set("chain_links", job.config.chain_links);
+    row.set("bottleneck_bps", job.config.bottleneck_bps);
+    row.set("buffer_bytes", job.config.buffer_bytes);
+    row.set("duration_s", job.config.duration.seconds());
+    row.set("goodput_Bps", record.result.goodput_Bps);
+    row.set("total_goodput_Bps", record.result.total_goodput_Bps);
+    row.set("tail_goodput_Bps", record.result.tail_goodput_Bps);
+    row.set("throughput_Bps", record.result.throughput_Bps);
+    row.set("jfi", record.result.jfi);
+  }
+  for (const auto& [name, value] : record.extra) row.set(name, value);
   row.set("wall_s", record.wall_seconds);
   return row;
 }

@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "exp/jsonl_writer.hpp"
@@ -42,6 +43,12 @@ struct ExperimentJob {
   // installed, before the scenario runs. Runs on a worker thread, but only
   // ever touches its own job's Scenario.
   std::function<void(Scenario&, obs::Probe&)> probe_setup;
+
+  // Non-Scenario jobs (analytic models, FlowCache traces, ...): when set,
+  // the runner calls this with the job's derived seed instead of building a
+  // Scenario, and the returned (name, value) pairs land in RunRecord::extra.
+  // `config` is still the source of the label/params echo but is not run.
+  std::function<std::vector<std::pair<std::string, double>>(std::uint64_t seed)> custom;
 };
 
 struct RunRecord {
@@ -50,6 +57,10 @@ struct RunRecord {
   double wall_seconds = 0.0;  // host wall-clock for this one Scenario
   bool skipped = false;       // true when resumed over (result is empty)
   std::vector<obs::TraceRow> trace;  // sampled rows (empty unless traced)
+  // Metrics returned by ExperimentJob::custom jobs (empty for Scenario
+  // jobs). Emitted as numeric fields of the JSONL row and picked up by the
+  // registry's aggregation pass.
+  std::vector<std::pair<std::string, double>> extra;
 };
 
 // Min/max/mean/stddev over one metric across trials (population stddev).

@@ -1,0 +1,18 @@
+#include "exp/report.hpp"
+
+#include <cstdio>
+
+namespace cebinae::exp {
+
+std::string pm(const Aggregate& a, int precision) {
+  char buf[64];
+  if (a.n > 1) {
+    std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, a.mean, precision,
+                  a.stddev);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, a.mean);
+  }
+  return buf;
+}
+
+}  // namespace cebinae::exp

@@ -62,6 +62,9 @@ SweepGrid& SweepGrid::variants(std::string name,
 }
 
 SweepGrid& SweepGrid::trials(int n) {
+  // A single trial adds no information to labels/params, and keeping the
+  // dimension out preserves clean "qdisc=... x=..." labels for default runs.
+  if (n <= 1) return *this;
   Dimension dim;
   dim.name = "trial";
   for (int t = 0; t < n; ++t) {

@@ -45,6 +45,8 @@ class SweepGrid {
 
   // Replicate every point n times; ExperimentRunner's per-job seeding makes
   // each trial an independent sample. Echoed into params as `trial`.
+  // n <= 1 is a no-op: single-trial runs keep their labels free of the
+  // `trial=` token, which is what the registry's aggregation key expects.
   SweepGrid& trials(int n);
 
   [[nodiscard]] std::vector<ExperimentJob> build() const;

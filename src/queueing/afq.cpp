@@ -35,7 +35,7 @@ bool Afq::enqueue(Packet pkt) {
   bytes_ += pkt.size_bytes;
   ++packets_;
   ++stats_.enqueued_packets;
-  queues_[slot].push_back(std::move(pkt));
+  queues_[slot].push_back(TimestampedPacket{std::move(pkt), sojourn_now()});
   return true;
 }
 
@@ -45,13 +45,14 @@ std::optional<Packet> Afq::dequeue() {
   for (std::uint32_t scanned = 0; scanned < params_.num_queues; ++scanned) {
     auto& q = queues_[head_slot_];
     if (!q.empty()) {
-      Packet pkt = std::move(q.front());
+      TimestampedPacket tp = std::move(q.front());
       q.pop_front();
-      bytes_ -= pkt.size_bytes;
+      bytes_ -= tp.pkt.size_bytes;
       --packets_;
       ++stats_.dequeued_packets;
-      stats_.dequeued_bytes += pkt.size_bytes;
-      return pkt;
+      stats_.dequeued_bytes += tp.pkt.size_bytes;
+      record_sojourn(tp.enqueued);
+      return std::move(tp.pkt);
     }
     head_slot_ = (head_slot_ + 1) % params_.num_queues;
     ++current_round_;

@@ -45,7 +45,7 @@ class Afq final : public QueueDisc {
 
  private:
   AfqParams params_;
-  std::vector<std::deque<Packet>> queues_;  // ring of calendar slots
+  std::vector<std::deque<TimestampedPacket>> queues_;  // ring of calendar slots
   std::size_t head_slot_ = 0;
   std::uint64_t current_round_ = 0;
   std::uint64_t bytes_ = 0;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace cebinae {
 
 Time CodelController::control_law(Time t) const {
@@ -22,6 +24,7 @@ CodelController::DodequeResult CodelController::dodeque(std::deque<TimestampedPa
   bytes -= tp.pkt.size_bytes;
 
   const Time sojourn = now - tp.enqueued;
+  r.sojourn = sojourn;
   if (sojourn < params_.target || bytes < kMtuBytes) {
     first_above_time_ = Time::zero();
   } else {
@@ -37,7 +40,8 @@ CodelController::DodequeResult CodelController::dodeque(std::deque<TimestampedPa
 
 std::optional<Packet> CodelController::dequeue(std::deque<TimestampedPacket>& q,
                                                std::uint64_t& bytes, Time now,
-                                               QueueDiscStats& stats) {
+                                               QueueDiscStats& stats,
+                                               obs::Histogram* sojourn) {
   auto drop_or_mark = [&](Packet& pkt) -> bool {
     // Returns true when the packet was ECN-marked (and should be forwarded)
     // rather than dropped.
@@ -83,6 +87,7 @@ std::optional<Packet> CodelController::dequeue(std::deque<TimestampedPacket>& q,
     }
     drop_next_ = control_law(now);
   }
+  if (sojourn != nullptr && r.pkt) sojourn->observe(r.sojourn.seconds());
   return r.pkt;
 }
 
@@ -99,7 +104,8 @@ bool CodelQueue::enqueue(Packet pkt) {
 }
 
 std::optional<Packet> CodelQueue::dequeue() {
-  std::optional<Packet> pkt = controller_.dequeue(q_, bytes_, sched_.now(), stats_);
+  std::optional<Packet> pkt =
+      controller_.dequeue(q_, bytes_, sched_.now(), stats_, sojourn_hist());
   if (pkt) {
     ++stats_.dequeued_packets;
     stats_.dequeued_bytes += pkt->size_bytes;

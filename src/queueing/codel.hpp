@@ -21,12 +21,6 @@ struct CodelParams {
   bool use_ecn = true;               // mark ECT packets instead of dropping
 };
 
-// A packet with its enqueue timestamp, as stored inside CoDel queues.
-struct TimestampedPacket {
-  Packet pkt;
-  Time enqueued;
-};
-
 class CodelController {
  public:
   explicit CodelController(CodelParams params) : params_(params) {}
@@ -34,9 +28,12 @@ class CodelController {
   // Drive the CoDel state machine at dequeue time over `q`. Drops (or
   // ECN-marks) packets per the control law and returns the packet to
   // transmit, if any. `bytes` is the queue's byte counter and is updated as
-  // packets leave; drop/mark counters accumulate into `stats`.
+  // packets leave; drop/mark counters accumulate into `stats`. When
+  // `sojourn` is set, the delivered packet's queueing delay (seconds) is
+  // observed into it (dropped packets are not).
   std::optional<Packet> dequeue(std::deque<TimestampedPacket>& q, std::uint64_t& bytes,
-                                Time now, QueueDiscStats& stats);
+                                Time now, QueueDiscStats& stats,
+                                obs::Histogram* sojourn = nullptr);
 
   [[nodiscard]] std::uint32_t drop_count() const { return count_; }
   [[nodiscard]] bool dropping() const { return dropping_; }
@@ -44,6 +41,7 @@ class CodelController {
  private:
   struct DodequeResult {
     std::optional<Packet> pkt;
+    Time sojourn = Time::zero();  // queueing delay of `pkt`, when present
     bool ok_to_drop = false;
   };
 

@@ -37,7 +37,7 @@ class FifoQueue final : public QueueDisc {
   std::uint64_t limit_bytes_;
   std::uint64_t limit_packets_;
   std::uint64_t bytes_ = 0;
-  std::deque<Packet> q_;
+  std::deque<TimestampedPacket> q_;
 };
 
 }  // namespace cebinae

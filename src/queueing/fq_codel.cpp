@@ -74,7 +74,8 @@ std::optional<Packet> FqCoDel::dequeue() {
 
     const std::uint64_t bytes_before = fq->bytes;
     const std::size_t pkts_before = fq->q.size();
-    std::optional<Packet> pkt = fq->codel.dequeue(fq->q, fq->bytes, sched_.now(), stats_);
+    std::optional<Packet> pkt =
+        fq->codel.dequeue(fq->q, fq->bytes, sched_.now(), stats_, sojourn_hist());
     // CoDel may have consumed several packets (drops plus the returned one).
     bytes_ -= bytes_before - fq->bytes;
     packets_ -= pkts_before - fq->q.size();

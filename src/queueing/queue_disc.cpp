@@ -1,0 +1,17 @@
+#include "queueing/queue_disc.hpp"
+
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+
+namespace cebinae {
+
+Time QueueDisc::sojourn_now() const {
+  return sojourn_sched_ == nullptr ? Time::zero() : sojourn_sched_->now();
+}
+
+void QueueDisc::record_sojourn(Time enqueued) {
+  if (sojourn_hist_ == nullptr) return;
+  sojourn_hist_->observe((sojourn_sched_->now() - enqueued).seconds());
+}
+
+}  // namespace cebinae

@@ -8,8 +8,15 @@
 #include <optional>
 
 #include "net/packet.hpp"
+#include "sim/time.hpp"
 
 namespace cebinae {
+
+class Scheduler;
+
+namespace obs {
+class Histogram;
+}  // namespace obs
 
 struct QueueDiscStats {
   std::uint64_t enqueued_packets = 0;
@@ -18,6 +25,14 @@ struct QueueDiscStats {
   std::uint64_t dequeued_packets = 0;
   std::uint64_t dequeued_bytes = 0;
   std::uint64_t ecn_marked_packets = 0;
+};
+
+// A packet with its enqueue timestamp. CoDel queues always store these (the
+// control law needs sojourn times); the other disciplines store them so the
+// sojourn instrumentation below can observe dequeue − enqueue deltas.
+struct TimestampedPacket {
+  Packet pkt;
+  Time enqueued;
 };
 
 class QueueDisc {
@@ -33,8 +48,34 @@ class QueueDisc {
 
   [[nodiscard]] const QueueDiscStats& stats() const { return stats_; }
 
+  // Observability hook: once set, every implementation stamps packets at
+  // enqueue and feeds the sojourn of each *delivered* packet (in seconds)
+  // into `hist`; dropped packets never reach the histogram. `sched` supplies
+  // the clock for disciplines that have none of their own; both referents
+  // must outlive this qdisc. Wire before traffic flows (Scenario does this
+  // at construction).
+  void instrument_sojourn(const Scheduler& sched, obs::Histogram& hist) {
+    sojourn_sched_ = &sched;
+    sojourn_hist_ = &hist;
+  }
+
  protected:
+  // Enqueue stamp: the scheduler's now() when instrumented, zero otherwise
+  // (an uninstrumented stamp is never read back).
+  [[nodiscard]] Time sojourn_now() const;
+
+  // Observe now − enqueued for a packet being delivered; no-op when not
+  // instrumented.
+  void record_sojourn(Time enqueued);
+
+  // For disciplines that delegate dequeue to a helper (CoDel's controller).
+  [[nodiscard]] obs::Histogram* sojourn_hist() const { return sojourn_hist_; }
+
   QueueDiscStats stats_;
+
+ private:
+  const Scheduler* sojourn_sched_ = nullptr;
+  obs::Histogram* sojourn_hist_ = nullptr;
 };
 
 }  // namespace cebinae

@@ -91,20 +91,21 @@ bool StrawmanQueueDisc::enqueue(Packet pkt) {
   }
   bytes_ += pkt.size_bytes;
   ++stats_.enqueued_packets;
-  q_.push_back(std::move(pkt));
+  q_.push_back(TimestampedPacket{std::move(pkt), sojourn_now()});
   return true;
 }
 
 std::optional<Packet> StrawmanQueueDisc::dequeue() {
   if (q_.empty()) return std::nullopt;
-  Packet pkt = std::move(q_.front());
+  TimestampedPacket tp = std::move(q_.front());
   q_.pop_front();
-  bytes_ -= pkt.size_bytes;
-  interval_bytes_[pkt.flow] += pkt.size_bytes;
-  interval_tx_ += pkt.size_bytes;
+  bytes_ -= tp.pkt.size_bytes;
+  interval_bytes_[tp.pkt.flow] += tp.pkt.size_bytes;
+  interval_tx_ += tp.pkt.size_bytes;
   ++stats_.dequeued_packets;
-  stats_.dequeued_bytes += pkt.size_bytes;
-  return pkt;
+  stats_.dequeued_bytes += tp.pkt.size_bytes;
+  record_sojourn(tp.enqueued);
+  return std::move(tp.pkt);
 }
 
 }  // namespace cebinae

@@ -72,7 +72,7 @@ class StrawmanQueueDisc final : public QueueDisc {
   std::uint64_t buffer_bytes_;
   StrawmanParams params_;
 
-  std::deque<Packet> q_;
+  std::deque<TimestampedPacket> q_;
   std::uint64_t bytes_ = 0;
 
   // Measurement (the strawman is not resource-constrained: exact state).

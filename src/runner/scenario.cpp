@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "metrics/jfi.hpp"
 #include "queueing/fifo_queue.hpp"
@@ -38,31 +39,44 @@ std::string_view to_string(QdiscKind kind) {
 }
 
 std::unique_ptr<QueueDisc> Scenario::make_bottleneck_qdisc(int link) {
+  std::unique_ptr<QueueDisc> disc;
   switch (cfg_.qdisc) {
     case QdiscKind::kFifo:
-      return std::make_unique<FifoQueue>(cfg_.buffer_bytes);
+      disc = std::make_unique<FifoQueue>(cfg_.buffer_bytes);
+      break;
     case QdiscKind::kFqCoDel: {
       FqCoDelParams p = cfg_.fq;
       p.limit_bytes = cfg_.buffer_bytes;
-      return std::make_unique<FqCoDel>(net_->scheduler(), p);
+      disc = std::make_unique<FqCoDel>(net_->scheduler(), p);
+      break;
     }
     case QdiscKind::kCebinae: {
       auto q = std::make_unique<CebinaeQueueDisc>(net_->scheduler(), cfg_.bottleneck_bps,
                                                   cfg_.buffer_bytes, effective_params_);
       cebinae_qdiscs_.push_back(q.get());
-      (void)link;
-      return q;
+      disc = std::move(q);
+      break;
     }
     case QdiscKind::kAfq: {
       AfqParams p = cfg_.afq;
       p.buffer_bytes = cfg_.buffer_bytes;
-      return std::make_unique<Afq>(p);
+      disc = std::make_unique<Afq>(p);
+      break;
     }
     case QdiscKind::kStrawman:
-      return std::make_unique<StrawmanQueueDisc>(net_->scheduler(), cfg_.bottleneck_bps,
+      disc = std::make_unique<StrawmanQueueDisc>(net_->scheduler(), cfg_.bottleneck_bps,
                                                  cfg_.buffer_bytes, cfg_.strawman);
+      break;
   }
-  return nullptr;
+  // Per-link sojourn-time histogram: dequeue − enqueue of every delivered
+  // packet, exported by probe.sample_registry as qdisc.sojourn_s.l<k>.{n,
+  // mean,max} in the standard trace rows.
+  if (disc != nullptr) {
+    disc->instrument_sojourn(
+        net_->scheduler(),
+        net_->metrics().histogram("qdisc.sojourn_s.l" + std::to_string(link)));
+  }
+  return disc;
 }
 
 Scenario::Scenario(ScenarioConfig config) : cfg_(std::move(config)) {
@@ -241,6 +255,9 @@ ScenarioResult Scenario::run() {
 
   ScenarioResult r;
   r.goodput_Bps = stats_.goodputs_Bps(Time::zero(), cfg_.duration);
+  // Second-half goodputs: the steady-state window the ablation benches and
+  // convergence reporters read (excludes slow start and join transients).
+  r.tail_goodput_Bps = stats_.goodputs_Bps(Time(cfg_.duration.ns() / 2), cfg_.duration);
   for (double g : r.goodput_Bps) r.total_goodput_Bps += g;
   for (const Device* dev : topo_.bottlenecks) {
     r.throughput_Bps.push_back(static_cast<double>(dev->tx_bytes()) /
@@ -250,20 +267,28 @@ ScenarioResult Scenario::run() {
   return r;
 }
 
-std::vector<double> Scenario::ideal_goodputs_Bps() const {
+std::vector<double> ideal_goodputs_Bps(const ScenarioConfig& cfg) {
   MaxMinProblem problem;
   // Application-level capacity: wire rate scaled by payload efficiency.
   const double payload_efficiency =
       static_cast<double>(kMssBytes) / static_cast<double>(kMtuBytes);
   problem.link_capacity.assign(
-      static_cast<std::size_t>(cfg_.chain_links),
-      static_cast<double>(cfg_.bottleneck_bps) / 8.0 * payload_efficiency);
-  for (const FlowSpec& f : cfg_.flows) {
+      static_cast<std::size_t>(cfg.chain_links),
+      static_cast<double>(cfg.bottleneck_bps) / 8.0 * payload_efficiency);
+  for (const FlowSpec& f : cfg.flows) {
+    // Mirror the constructor's path normalization so reporters can call this
+    // on a raw config without building a Scenario.
+    const int exit = f.exit < 0 ? cfg.chain_links : f.exit;
     std::vector<std::size_t> links;
-    for (int l = f.enter; l < f.exit; ++l) links.push_back(static_cast<std::size_t>(l));
+    for (int l = f.enter; l < exit; ++l) links.push_back(static_cast<std::size_t>(l));
     problem.flow_links.push_back(std::move(links));
   }
   return maxmin_rates(problem);
+}
+
+std::vector<double> Scenario::ideal_goodputs_Bps() const {
+  // cfg_ is already normalized by the constructor.
+  return cebinae::ideal_goodputs_Bps(cfg_);
 }
 
 }  // namespace cebinae

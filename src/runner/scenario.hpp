@@ -59,8 +59,14 @@ struct ScenarioConfig {
   std::vector<FlowSpec> flows;
 };
 
+// Ideal max-min goodput allocation (application-level) for a config's
+// topology and flows — Fig. 11's "Ideal" bars. Usable without building a
+// Scenario (flow exits < 0 are normalized to chain_links here too).
+[[nodiscard]] std::vector<double> ideal_goodputs_Bps(const ScenarioConfig& cfg);
+
 struct ScenarioResult {
   std::vector<double> goodput_Bps;      // per flow, over the whole run
+  std::vector<double> tail_goodput_Bps; // per flow, over [duration/2, duration]
   double total_goodput_Bps = 0.0;
   std::vector<double> throughput_Bps;   // per chain link (wire bytes)
   double jfi = 1.0;
