@@ -1,0 +1,159 @@
+// cebinae_dispatch: fault-tolerant multi-process sweep dispatcher for every
+// registered experiment.
+//
+//   cebinae_dispatch --experiment=<name> --workers=N [flags]
+//
+// Shards the experiment's job grid across N worker processes coordinated
+// through a filesystem job ledger (src/dispatch). Aggregated stdout and the
+// merged --out/--trace-out JSONL are byte-identical to
+// `cebinae_bench --experiment=<name> --jobs=1` (modulo per-row wall_s),
+// even when workers crash mid-sweep.
+//
+// Flags beyond the cebinae_bench set:
+//   --workers=N       worker processes (0 = all hardware threads)
+//   --lease-ttl=S     seconds of heartbeat silence before a job is re-stolen
+//   --max-retries=N   distinct-worker failures tolerated before quarantine
+//   --ledger=DIR      ledger directory (default <out>.ledger)
+//   --fault-inject=M  test hook; "kill1" SIGKILLs one lease-holding worker
+//   --resume          keep an existing ledger; done jobs are not re-run
+//
+// The hidden --worker=<id> mode is the exec target of the coordinator's
+// fork/exec; it is not part of the public CLI.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "dispatch/coordinator.hpp"
+#include "dispatch/worker.hpp"
+#include "exp/registry.hpp"
+
+namespace {
+
+using cebinae::dispatch::DispatchOptions;
+using cebinae::dispatch::WorkerOptions;
+using cebinae::exp::ExperimentRegistry;
+using cebinae::exp::ExperimentSpec;
+
+int usage(FILE* out) {
+  std::fprintf(
+      out,
+      "usage: cebinae_dispatch --experiment=<name> [--workers=N] [--full|--smoke]\n"
+      "                        [--trials=N] [--seed=S] [--out=PATH] [--trace-out=PATH]\n"
+      "                        [--lease-ttl=SECONDS] [--max-retries=N] [--ledger=DIR]\n"
+      "                        [--fault-inject=kill1] [--resume] [--perf-out[=PATH]]\n"
+      "       cebinae_dispatch --list\n\nexperiments:\n");
+  for (const ExperimentSpec* spec : ExperimentRegistry::instance().all()) {
+    std::fprintf(out, "  %-22s %s\n", spec->name.c_str(), spec->description.c_str());
+  }
+  return out == stdout ? 0 : 2;
+}
+
+// The path the coordinator should exec for workers: /proc/self/exe when
+// resolvable (robust against PATH/cwd games), else argv[0].
+std::string self_path(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  DispatchOptions opts;
+  WorkerOptions wopts;
+  bool worker_mode = false;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--list") == 0) {
+      list = true;
+    } else if (std::strncmp(arg, "--experiment=", 13) == 0) {
+      opts.experiment = arg + 13;
+    } else if (std::strncmp(arg, "--workers=", 10) == 0) {
+      opts.workers = std::atoi(arg + 10);
+    } else if (std::strcmp(arg, "--full") == 0) {
+      opts.run.full = true;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      opts.run.smoke = true;
+    } else if (std::strncmp(arg, "--trials=", 9) == 0) {
+      opts.run.trials = std::atoi(arg + 9);
+    } else if (std::strncmp(arg, "--seed=", 7) == 0) {
+      opts.run.base_seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--out=", 6) == 0) {
+      opts.run.out = arg + 6;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      opts.run.trace_out = arg + 12;
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      opts.run.resume = true;
+    } else if (std::strcmp(arg, "--perf-out") == 0) {
+      opts.run.perf = true;
+    } else if (std::strncmp(arg, "--perf-out=", 11) == 0) {
+      opts.run.perf = true;
+      opts.run.perf_out = arg + 11;
+    } else if (std::strncmp(arg, "--lease-ttl=", 12) == 0) {
+      opts.lease_ttl_s = std::atof(arg + 12);
+    } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
+      opts.max_retries = std::atoi(arg + 14);
+    } else if (std::strncmp(arg, "--ledger=", 9) == 0) {
+      opts.ledger_dir = arg + 9;
+    } else if (std::strncmp(arg, "--fault-inject=", 15) == 0) {
+      opts.fault_inject = arg + 15;
+    } else if (std::strncmp(arg, "--worker=", 9) == 0) {
+      worker_mode = true;
+      wopts.worker_id = arg + 9;
+    } else if (std::strncmp(arg, "--worker-index=", 15) == 0) {
+      wopts.worker_index = std::atoi(arg + 15);
+    } else if (arg[0] != '-' && opts.experiment.empty()) {
+      opts.experiment = arg;  // positional experiment name
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n\n", arg);
+      return usage(stderr);
+    }
+  }
+
+  if (list) {
+    for (const ExperimentSpec* spec : ExperimentRegistry::instance().all()) {
+      std::printf("%s\t%s\n", spec->name.c_str(), spec->description.c_str());
+    }
+    return 0;
+  }
+  if (opts.run.full && opts.run.smoke) {
+    std::fprintf(stderr, "error: --full and --smoke are mutually exclusive\n");
+    return 2;
+  }
+  if (opts.experiment.empty()) return usage(stderr);
+  if (!opts.fault_inject.empty() && opts.fault_inject != "kill1") {
+    std::fprintf(stderr, "error: unknown --fault-inject mode '%s'\n",
+                 opts.fault_inject.c_str());
+    return 2;
+  }
+
+  if (worker_mode) {
+    wopts.ledger_dir = opts.ledger_dir;
+    wopts.experiment = opts.experiment;
+    wopts.run = opts.run;
+    wopts.lease_ttl_s = opts.lease_ttl_s;
+    wopts.max_retries = opts.max_retries;
+    if (wopts.ledger_dir.empty()) {
+      std::fprintf(stderr, "error: --worker requires --ledger=DIR\n");
+      return 2;
+    }
+    return cebinae::dispatch::run_worker(wopts);
+  }
+
+  if (opts.workers <= 0) {
+    opts.workers = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  opts.self_path = self_path(argv[0]);
+  return cebinae::dispatch::run_dispatch(opts);
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Dispatch smoke gate (tier-1): the distributed sweep dispatcher must
+# produce byte-identical aggregated stdout and merged JSONL (modulo each
+# row's wall-clock field) to a single-process `cebinae_bench --jobs=1` run —
+# including when a lease-holding worker is SIGKILLed mid-sweep
+# (--fault-inject=kill1), whose jobs must be re-stolen and appear in the
+# merged output exactly once. Also exercises the traced-experiment path
+# (fig01 reports from reconstructed trace rows).
+#
+# Usage: scripts/dispatch_smoke.sh [path-to-cebinae_bench] [path-to-cebinae_dispatch]
+set -euo pipefail
+
+BENCH="${1:-build/bench/cebinae_bench}"
+DISPATCH="${2:-build/bench/cebinae_dispatch}"
+for bin in "$BENCH" "$DISPATCH"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    exit 1
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+strip_wall() { sed -E 's/"wall_s":[0-9.eE+-]+/"wall_s":0/' "$1"; }
+
+# ---- fig07, fault-injected: byte-identity despite a killed worker ----------
+echo "== fig07 --workers=4 --fault-inject=kill1 vs --jobs=1 ==" >&2
+"$BENCH" --experiment=fig07 --smoke --trials=2 --jobs=1 \
+  --out="$tmpdir/ref.jsonl" >"$tmpdir/ref.stdout" 2>/dev/null
+"$DISPATCH" --experiment=fig07 --smoke --trials=2 --workers=4 \
+  --lease-ttl=2 --fault-inject=kill1 --ledger="$tmpdir/ledger" \
+  --out="$tmpdir/dsp.jsonl" >"$tmpdir/dsp.stdout" 2>"$tmpdir/dsp.stderr"
+
+if ! diff -u "$tmpdir/ref.stdout" "$tmpdir/dsp.stdout"; then
+  echo "error: dispatched stdout differs from single-process run" >&2
+  exit 1
+fi
+if ! diff -u <(strip_wall "$tmpdir/ref.jsonl") <(strip_wall "$tmpdir/dsp.jsonl"); then
+  echo "error: merged JSONL differs from single-process run (modulo wall_s)" >&2
+  exit 1
+fi
+# Exactly-once: every job_index appears exactly once, in grid order.
+if ! diff <(grep -o '"job_index":[0-9]*' "$tmpdir/dsp.jsonl") \
+          <(grep -o '"job_index":[0-9]*' "$tmpdir/ref.jsonl"); then
+  echo "error: merged JSONL job_index sequence is not the grid order" >&2
+  exit 1
+fi
+# The fault must actually have fired on a lease-holding worker (the tight
+# coordinator poll makes this deterministic at smoke job durations).
+if ! grep -q "fault-inject: SIGKILL" "$tmpdir/dsp.stderr"; then
+  echo "error: --fault-inject=kill1 never killed a worker" >&2
+  cat "$tmpdir/dsp.stderr" >&2
+  exit 1
+fi
+
+# ---- fig01, traced: report renders from reconstructed trace rows -----------
+echo "== fig01 --workers=2 trace reconstruction ==" >&2
+"$BENCH" --experiment=fig01 --smoke --jobs=1 \
+  --trace-out="$tmpdir/ref_trace.jsonl" >"$tmpdir/ref01.stdout" 2>/dev/null
+"$DISPATCH" --experiment=fig01 --smoke --workers=2 --lease-ttl=2 \
+  --ledger="$tmpdir/ledger01" --trace-out="$tmpdir/dsp_trace.jsonl" \
+  >"$tmpdir/dsp01.stdout" 2>/dev/null
+
+if ! diff -u "$tmpdir/ref01.stdout" "$tmpdir/dsp01.stdout"; then
+  echo "error: traced experiment stdout differs under dispatch" >&2
+  exit 1
+fi
+if ! diff -u "$tmpdir/ref_trace.jsonl" "$tmpdir/dsp_trace.jsonl"; then
+  echo "error: merged trace sidecar differs from single-process run" >&2
+  exit 1
+fi
+
+echo "dispatch smoke: byte-identical under 4 workers + kill1 fault injection" >&2

@@ -1,0 +1,18 @@
+#include "dispatch/clock.hpp"
+
+#include <time.h>
+
+namespace cebinae::dispatch {
+
+double SystemClock::now() const {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+const SystemClock& SystemClock::instance() {
+  static const SystemClock clock;
+  return clock;
+}
+
+}  // namespace cebinae::dispatch

@@ -1,0 +1,49 @@
+// Injectable wall-clock for the job ledger's lease protocol.
+//
+// Lease stamps are compared ACROSS processes (and, over a shared
+// filesystem, across hosts), so the production clock is CLOCK_REALTIME
+// seconds — the only clock whose values are meaningful between machines.
+// Tests inject a ManualClock instead and drive lease expiry explicitly,
+// which is what lets the contention/steal tests run with zero sleeps.
+#pragma once
+
+#include <mutex>
+
+namespace cebinae::dispatch {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Seconds; only differences are ever interpreted, so the epoch is free.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] double now() const override;
+  // Process-wide instance for callers that do not inject a clock.
+  static const SystemClock& instance();
+};
+
+// Deterministic test clock: time moves only when advance() is called.
+// Thread-safe so two racing ledger clients can share one instance.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(double t = 0.0) : t_(t) {}
+
+  [[nodiscard]] double now() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return t_;
+  }
+
+  void advance(double dt) {
+    std::lock_guard<std::mutex> lock(mu_);
+    t_ += dt;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  double t_;
+};
+
+}  // namespace cebinae::dispatch

@@ -1,0 +1,456 @@
+#include "dispatch/coordinator.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "dispatch/ledger.hpp"
+#include "dispatch/merge.hpp"
+#include "exp/jsonl_writer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cebinae::dispatch {
+
+namespace {
+
+struct WorkerProc {
+  pid_t pid = -1;
+  std::string id;       // "w<serial>"
+  int index = 0;        // scan-offset slot, stable across respawns
+  bool alive = false;
+  bool fault_killed = false;  // we killed it on purpose (--fault-inject)
+};
+
+std::string worker_argv_dump(const std::vector<std::string>& argv) {
+  std::string out;
+  for (const std::string& a : argv) {
+    if (!out.empty()) out += ' ';
+    out += a;
+  }
+  return out;
+}
+
+// fork/exec one worker; stdout -> /dev/null (workers must never pollute the
+// coordinator's byte-stable stdout), stderr -> its ledger capture file.
+pid_t spawn_worker(const DispatchOptions& opts, const JobLedger& ledger,
+                   const std::string& worker_id, int worker_index) {
+  std::vector<std::string> argv = {
+      opts.self_path,
+      "--worker=" + worker_id,
+      "--worker-index=" + std::to_string(worker_index),
+      "--ledger=" + ledger.dir(),
+      "--experiment=" + opts.experiment,
+      "--trials=" + std::to_string(opts.run.trials),
+      "--seed=" + std::to_string(opts.run.base_seed),
+      "--lease-ttl=" + std::to_string(opts.lease_ttl_s),
+      "--max-retries=" + std::to_string(opts.max_retries),
+  };
+  if (opts.run.full) argv.push_back("--full");
+  if (opts.run.smoke) argv.push_back("--smoke");
+
+  const std::string stderr_file = ledger.stderr_path(worker_id);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::fprintf(stderr, "[dispatch] fork failed: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (pid == 0) {
+    // Child. Only async-signal-safe calls between fork and exec.
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) ::dup2(devnull, STDOUT_FILENO);
+    const int errfd =
+        ::open(stderr_file.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (errfd >= 0) ::dup2(errfd, STDERR_FILENO);
+    std::vector<char*> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (std::string& a : argv) cargv.push_back(a.data());
+    cargv.push_back(nullptr);
+    ::execv(opts.self_path.c_str(), cargv.data());
+    // exec failed; write a breadcrumb to the captured stderr and die hard.
+    const char* msg = "worker exec failed\n";
+    [[maybe_unused]] const ssize_t n = ::write(STDERR_FILENO, msg, std::strlen(msg));
+    ::_exit(127);
+  }
+  std::fprintf(stderr, "[dispatch] spawned %s (pid %d): %s\n", worker_id.c_str(),
+               static_cast<int>(pid), worker_argv_dump(argv).c_str());
+  return pid;
+}
+
+// Last ~2KB of a worker's captured stderr, for quarantine reports.
+std::string stderr_tail(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return {};
+  const std::streamoff size = in.tellg();
+  constexpr std::streamoff kTail = 2048;
+  const std::streamoff start = size > kTail ? size - kTail : 0;
+  in.seekg(start);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The worker id currently holding any live lease, "" when none. Used by
+// --fault-inject=kill1 to kill a worker that provably has in-flight work,
+// which forces the lease-expiry + re-steal path in tests.
+std::string any_lease_holder(const std::string& dir) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("job_", 0) != 0 || name.find(".lease") == std::string::npos) continue;
+    std::ifstream in(entry.path());
+    std::stringstream ss;
+    ss << in.rdbuf();
+    if (const std::optional<ParsedRow> row = parse_row(ss.str())) {
+      const std::string worker = row->str("worker");
+      if (!worker.empty()) return worker;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int run_dispatch(const DispatchOptions& opts) {
+  const exp::ExperimentSpec* spec =
+      exp::ExperimentRegistry::instance().find(opts.experiment);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "error: unknown experiment '%s'\n", opts.experiment.c_str());
+    return 2;
+  }
+
+  // Fail before spawning anything if the merge targets are unwritable
+  // (bench fails fast on a bad --out; a whole sweep before exit 2 is not
+  // an acceptable substitute). O_CREAT without O_TRUNC: existing content
+  // is untouched until the merge actually rewrites it.
+  for (const std::string* path : {&opts.run.out, &opts.run.trace_out}) {
+    if (path->empty() || *path == "-") continue;
+    const int fd = ::open(path->c_str(), O_WRONLY | O_CREAT | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      std::fprintf(stderr, "error: JsonlWriter: cannot open %s: %s\n",
+                   path->c_str(), std::strerror(errno));
+      return 2;
+    }
+    ::close(fd);
+  }
+
+  // Same header as run_experiment(): byte-identical stdout starts here.
+  const std::vector<exp::ExperimentJob> jobs = spec->make_jobs(opts.run);
+  std::printf("=== %s (%s run) ===\n", spec->title.c_str(),
+              opts.run.smoke ? "smoke" : (opts.run.full ? "full paper-scale" : "quick"));
+  const std::uint64_t n = jobs.size();
+
+  // Ledger directory: derived from --out when given so reruns of the same
+  // sweep resume naturally, else namespaced by experiment.
+  std::string ledger_dir = opts.ledger_dir;
+  if (ledger_dir.empty()) {
+    ledger_dir = (!opts.run.out.empty() && opts.run.out != "-")
+                     ? opts.run.out + ".ledger"
+                     : opts.experiment + ".ledger";
+  }
+  if (!opts.run.resume) {
+    std::error_code ec;
+    fs::remove_all(ledger_dir, ec);  // fresh sweep: drop any stale ledger
+  }
+
+  JobLedger::Options lo;
+  lo.dir = ledger_dir;
+  lo.worker = "coordinator";
+  lo.lease_ttl_s = opts.lease_ttl_s;
+  lo.max_retries = opts.max_retries;
+  JobLedger ledger(lo);
+  {
+    Manifest m;
+    m.experiment = opts.experiment;
+    m.n_jobs = n;
+    m.base_seed = opts.run.base_seed;
+    m.trials = opts.run.trials;
+    m.full = opts.run.full;
+    m.smoke = opts.run.smoke;
+    ledger.write_manifest(m);
+  }
+  if (opts.run.resume) {
+    const std::uint64_t already = ledger.done_count(n);
+    if (already > 0) {
+      std::fprintf(stderr, "[dispatch] resume: %llu/%llu jobs already done in %s\n",
+                   static_cast<unsigned long long>(already),
+                   static_cast<unsigned long long>(n), ledger_dir.c_str());
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // ---- spawn + monitor -----------------------------------------------
+  const int max_spawns = opts.max_spawns > 0 ? opts.max_spawns : 3 * opts.workers;
+  int spawned = 0;
+  int next_serial = 0;
+  std::vector<WorkerProc> procs;
+  std::vector<std::string> all_worker_ids;
+
+  auto spawn_slot = [&](int index) -> bool {
+    if (spawned >= max_spawns) return false;
+    WorkerProc p;
+    p.id = "w" + std::to_string(next_serial++);
+    p.index = index;
+    p.pid = spawn_worker(opts, ledger, p.id, index);
+    if (p.pid < 0) return false;
+    p.alive = true;
+    ++spawned;
+    all_worker_ids.push_back(p.id);
+    procs.push_back(std::move(p));
+    return true;
+  };
+
+  const int n_workers = std::max(1, opts.workers);
+  for (int w = 0; w < n_workers; ++w) {
+    if (!spawn_slot(w)) {
+      std::fprintf(stderr, "error: could not spawn initial workers\n");
+      return 2;
+    }
+  }
+
+  bool fault_fired = opts.fault_inject != "kill1";  // trivially "done" if unset
+  double respawn_backoff_s = 0.2;
+  std::uint64_t last_reported_done = ~0ull;
+
+  for (;;) {
+    // Reap exits.
+    for (WorkerProc& p : procs) {
+      if (!p.alive) continue;
+      int status = 0;
+      const pid_t r = ::waitpid(p.pid, &status, WNOHANG);
+      if (r != p.pid) continue;
+      p.alive = false;
+      const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (clean || ledger.settled_count(n) == n) continue;
+      if (p.fault_killed) {
+        // Deliberate kill: live workers must re-steal its leases; do NOT
+        // respawn, that is the scenario under test.
+        std::fprintf(stderr, "[dispatch] %s killed by fault injection\n", p.id.c_str());
+        continue;
+      }
+      std::fprintf(stderr, "[dispatch] %s died (%s %d); respawning after %.1fs\n",
+                   p.id.c_str(), WIFSIGNALED(status) ? "signal" : "exit",
+                   WIFSIGNALED(status) ? WTERMSIG(status) : WEXITSTATUS(status),
+                   respawn_backoff_s);
+      std::this_thread::sleep_for(std::chrono::duration<double>(respawn_backoff_s));
+      respawn_backoff_s = std::min(respawn_backoff_s * 2.0, 5.0);
+      if (!spawn_slot(p.index)) {
+        std::fprintf(stderr, "[dispatch] spawn budget exhausted (%d)\n", max_spawns);
+      }
+    }
+
+    // Fault injection: once any worker holds a lease, SIGKILL that worker.
+    if (!fault_fired) {
+      const std::string victim_id = any_lease_holder(ledger_dir);
+      if (!victim_id.empty()) {
+        for (WorkerProc& p : procs) {
+          if (p.id != victim_id || !p.alive) continue;
+          std::fprintf(stderr, "[dispatch] fault-inject: SIGKILL %s (pid %d)\n",
+                       p.id.c_str(), static_cast<int>(p.pid));
+          p.fault_killed = true;
+          ::kill(p.pid, SIGKILL);
+          fault_fired = true;
+          break;
+        }
+      }
+    }
+
+    const std::uint64_t done = ledger.done_count(n);
+    if (done != last_reported_done) {
+      std::fprintf(stderr, "\r[dispatch] %llu/%llu jobs done",
+                   static_cast<unsigned long long>(done),
+                   static_cast<unsigned long long>(n));
+      if (done == n) std::fprintf(stderr, "\n");
+      last_reported_done = done;
+    }
+
+    const bool all_settled = ledger.settled_count(n) == n;
+    const bool any_alive =
+        std::any_of(procs.begin(), procs.end(), [](const WorkerProc& p) { return p.alive; });
+    if (all_settled && !any_alive) {
+      if (!fault_fired) {
+        std::fprintf(stderr, "[dispatch] warning: --fault-inject=kill1 never fired "
+                             "(sweep finished before any lease was observed)\n");
+      }
+      break;
+    }
+    if (!all_settled && !any_alive) {
+      // Workers exited with unsettled jobs: their own failures block them.
+      // Spawn a fresh worker id to retry (it counts as a distinct worker,
+      // so a second deterministic failure quarantines the job).
+      if (!spawn_slot(0)) {
+        std::fprintf(stderr,
+                     "error: %llu job(s) unsettled and spawn budget exhausted\n",
+                     static_cast<unsigned long long>(n - ledger.settled_count(n)));
+        return 2;
+      }
+    }
+    // While a fault injection is pending, poll tightly: smoke-scale jobs
+    // finish in ~100ms and a coarse poll would miss every lease window.
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(fault_fired ? opts.poll_s : 0.002));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  if (last_reported_done != n) std::fprintf(stderr, "\n");
+
+  // ---- merge ----------------------------------------------------------
+  std::map<std::string, Shard> shards;
+  for (const std::string& id : all_worker_ids) {
+    shards.emplace(id, load_shard(id, ledger.results_shard(id), ledger.trace_shard(id)));
+  }
+  // Resumed sweeps may hold done markers from workers of a previous run;
+  // load any shard file present in the ledger that we did not spawn.
+  {
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(ledger_dir, ec)) {
+      const std::string name = entry.path().filename().string();
+      const std::size_t pos = name.find(".results.jsonl");
+      if (pos == std::string::npos) continue;
+      const std::string id = name.substr(0, pos);
+      if (shards.count(id) != 0) continue;
+      shards.emplace(id, load_shard(id, ledger.results_shard(id), ledger.trace_shard(id)));
+    }
+  }
+
+  auto find_row = [&](std::uint64_t i) -> const Shard* {
+    const std::string owner = ledger.done_worker(i);
+    if (auto it = shards.find(owner); it != shards.end() && it->second.result_by_job.count(i)) {
+      return &it->second;
+    }
+    // Marker unreadable/ambiguous: any shard carrying the row is equivalent
+    // (same job, same derived seed => bit-identical result).
+    for (const auto& [id, shard] : shards) {
+      if (shard.result_by_job.count(i) != 0) return &shard;
+    }
+    return nullptr;
+  };
+
+  std::optional<exp::JsonlWriter> out_writer;
+  std::optional<exp::JsonlWriter> trace_writer;
+  try {
+    out_writer.emplace(opts.run.out, exp::JsonlWriter::Mode::kTruncate);
+    trace_writer.emplace(opts.run.trace_out, exp::JsonlWriter::Mode::kTruncate);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<exp::RunRecord> records(n);
+  std::uint64_t missing = 0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const Shard* shard = find_row(i);
+    if (shard == nullptr) {
+      records[i].skipped = true;  // quarantined: no result to aggregate
+      records[i].seed = exp::derive_seed(opts.run.base_seed, i);
+      ++missing;
+      continue;
+    }
+    const std::string& line = shard->result_by_job.at(i);
+    if (out_writer->enabled()) out_writer->write_line(line);
+    const std::optional<ParsedRow> row = parse_row(line);
+    records[i] = record_from_row(*row, static_cast<bool>(jobs[i].custom));
+    if (auto it = shard->trace_by_job.find(i); it != shard->trace_by_job.end()) {
+      records[i].trace.reserve(it->second.size());
+      for (const std::string& trace_line : it->second) {
+        if (trace_writer->enabled()) trace_writer->write_line(trace_line);
+        if (const std::optional<ParsedRow> trow = parse_row(trace_line)) {
+          records[i].trace.push_back(trace_from_row(*trow));
+        }
+      }
+    }
+  }
+
+  // ---- quarantine report ---------------------------------------------
+  std::uint64_t quarantined = 0;
+  if (missing > 0) {
+    const std::string failed_path =
+        (!opts.run.out.empty() && opts.run.out != "-" ? opts.run.out
+                                                      : opts.experiment) +
+        ".failed.jsonl";
+    exp::JsonlWriter failed(failed_path, exp::JsonlWriter::Mode::kTruncate);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (!records[i].skipped) continue;
+      const std::vector<JobFailure> fails = ledger.failures(i);
+      ++quarantined;
+      exp::JsonObject row;
+      row.set("job_index", i);
+      row.set("label", jobs[i].label);
+      row.set("seed", records[i].seed);
+      row.set("attempts", static_cast<std::uint64_t>(fails.size()));
+      std::string workers_csv;
+      std::string errors;
+      std::string stderr_blob;
+      for (const JobFailure& f : fails) {
+        if (!workers_csv.empty()) workers_csv += ',';
+        workers_csv += f.worker;
+        if (!errors.empty()) errors += " | ";
+        errors += '[' + f.worker + "] " + f.error;
+        const std::string tail = stderr_tail(ledger.stderr_path(f.worker));
+        if (!tail.empty()) {
+          stderr_blob += "==== " + f.worker + " stderr tail ====\n" + tail;
+        }
+      }
+      row.set("workers", workers_csv);
+      row.set("error", errors);
+      row.set("stderr", stderr_blob);
+      failed.write(row);
+    }
+    std::fprintf(stderr,
+                 "[dispatch] %llu job(s) quarantined after deterministic failures -> %s\n",
+                 static_cast<unsigned long long>(quarantined), failed_path.c_str());
+  }
+
+  // ---- perf summary + report -----------------------------------------
+  if (opts.run.perf) {
+    const std::string path = opts.run.perf_out.empty()
+                                 ? "BENCH_" + spec->name + ".json"
+                                 : opts.run.perf_out;
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    exp::JsonObject o;
+    o.set("bench", spec->name);
+    o.set("workers", opts.workers);
+    o.set("scenarios", n);
+    o.set("quarantined", quarantined);
+    o.set("wall_s", wall_s);
+    o.set("scenarios_per_sec",
+          wall_s > 0.0 ? static_cast<double>(n - quarantined) / wall_s : 0.0);
+    std::ofstream f(path, std::ios::out | std::ios::trunc);
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write perf summary %s\n", path.c_str());
+      return 2;
+    }
+    f << o.str() << '\n';
+    std::fprintf(stderr, "[dispatch] perf summary -> %s\n", path.c_str());
+  }
+
+  if (quarantined > 0) {
+    // Mirrors run_experiment's resumed-run behavior: a table mixing real
+    // rows with holes would lie, so point at the JSONL instead.
+    std::printf("(%llu/%llu jobs quarantined; see failed-job report)\n",
+                static_cast<unsigned long long>(quarantined),
+                static_cast<unsigned long long>(n));
+    return 3;
+  }
+
+  if (spec->report) {
+    spec->report(opts.run, exp::aggregate_rows(jobs, records, spec->metrics));
+  }
+  return 0;
+}
+
+}  // namespace cebinae::dispatch

@@ -1,0 +1,43 @@
+// Dispatch coordinator: shards one registered experiment across N local
+// worker processes (fork/exec of this binary's hidden --worker mode) and
+// merges their shards back into the canonical outputs.
+//
+// Output contract: stdout (header + registered reporter) and the merged
+// `--out` / `--trace-out` JSONL are byte-identical to a single-process
+// `cebinae_bench --experiment=X --jobs=1` run — modulo each result row's
+// wall_s field — even when workers are killed mid-sweep: crashed workers'
+// leases expire and live workers re-steal the jobs, and the merge reads
+// each job's row from the done-marker owner's shard only, so re-executed
+// jobs appear exactly once.
+//
+// Failure handling: organically-dead workers are respawned with bounded
+// exponential backoff (fresh worker ids, so their retries count as distinct
+// workers); a job that fails deterministically on more than --max-retries
+// distinct workers is quarantined and reported to <out>.failed.jsonl with
+// the failing workers' errors and captured stderr instead of being silently
+// dropped.
+#pragma once
+
+#include <string>
+
+#include "exp/registry.hpp"
+
+namespace cebinae::dispatch {
+
+struct DispatchOptions {
+  std::string experiment;
+  exp::RunOptions run;        // out/trace_out/perf/resume honored as in bench
+  int workers = 2;
+  double lease_ttl_s = 30.0;
+  int max_retries = 1;        // distinct-worker failures before quarantine
+  std::string fault_inject;   // "" | "kill1": SIGKILL a lease-holding worker
+  std::string ledger_dir;     // "" = derived from --out or the experiment name
+  std::string self_path;      // binary to exec for workers (argv[0] resolve)
+  double poll_s = 0.1;        // coordinator monitor period (seconds)
+  int max_spawns = 0;         // total worker spawns allowed; 0 = 3 * workers
+};
+
+// Returns a process exit code: 0 clean, 2 setup error, 3 quarantined jobs.
+int run_dispatch(const DispatchOptions& opts);
+
+}  // namespace cebinae::dispatch

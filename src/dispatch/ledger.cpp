@@ -1,0 +1,254 @@
+#include "dispatch/ledger.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "dispatch/row_parse.hpp"
+#include "exp/jsonl_writer.hpp"
+
+namespace fs = std::filesystem;
+
+namespace cebinae::dispatch {
+
+namespace {
+
+// Small file helpers. Reads tolerate concurrent writers because every write
+// in the protocol is publish-by-rename/link: a path either resolves to a
+// complete previous version or a complete new one, never a partial file.
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void write_fd_all(int fd, std::string_view content, const std::string& what) {
+  std::size_t off = 0;
+  while (off < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw std::runtime_error("ledger: write " + what + ": " + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+JobLedger::JobLedger(Options opts)
+    : opts_(std::move(opts)),
+      clock_(opts_.clock != nullptr ? opts_.clock : &SystemClock::instance()) {
+  if (opts_.dir.empty()) throw std::invalid_argument("JobLedger: empty dir");
+  if (opts_.worker.empty()) throw std::invalid_argument("JobLedger: empty worker id");
+  std::error_code ec;
+  fs::create_directories(opts_.dir, ec);  // ok if it already exists
+}
+
+std::string JobLedger::lease_path(std::uint64_t i) const {
+  return opts_.dir + "/job_" + std::to_string(i) + ".lease";
+}
+
+std::string JobLedger::done_path(std::uint64_t i) const {
+  return opts_.dir + "/job_" + std::to_string(i) + ".done";
+}
+
+std::string JobLedger::fail_path(std::uint64_t i, std::string_view worker) const {
+  return opts_.dir + "/job_" + std::to_string(i) + ".fail." + std::string(worker);
+}
+
+std::string JobLedger::results_shard(std::string_view worker) const {
+  return opts_.dir + "/" + std::string(worker) + ".results.jsonl";
+}
+
+std::string JobLedger::trace_shard(std::string_view worker) const {
+  return opts_.dir + "/" + std::string(worker) + ".trace.jsonl";
+}
+
+std::string JobLedger::stderr_path(std::string_view worker) const {
+  return opts_.dir + "/" + std::string(worker) + ".stderr";
+}
+
+std::string JobLedger::write_temp(std::string_view content) const {
+  // Worker-private AND call-private name: the worker id keeps clients from
+  // colliding across processes, the counter keeps a worker's heartbeat
+  // thread from colliding with its claim loop within one process.
+  static std::atomic<unsigned long> counter{0};
+  const std::string path =
+      opts_.dir + "/.tmp." + opts_.worker + "." + std::to_string(counter.fetch_add(1));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("ledger: open " + path + ": " + std::strerror(errno));
+  }
+  write_fd_all(fd, content, path);
+  ::fsync(fd);
+  ::close(fd);
+  return path;
+}
+
+bool JobLedger::link_claim(std::uint64_t i) {
+  exp::JsonObject lease;
+  lease.set("worker", opts_.worker);
+  lease.set("t", clock_->now());
+  const std::string tmp = write_temp(lease.str());
+  // link(2): the lease appears atomically WITH its content, or EEXIST.
+  const int rc = ::link(tmp.c_str(), lease_path(i).c_str());
+  ::unlink(tmp.c_str());
+  return rc == 0;
+}
+
+JobLedger::ClaimResult JobLedger::try_claim(std::uint64_t i) {
+  if (is_done(i)) return ClaimResult::kDone;
+  if (quarantined(i)) return ClaimResult::kQuarantined;
+  if (fs::exists(fail_path(i, opts_.worker))) return ClaimResult::kOwnFailure;
+
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (link_claim(i)) {
+      // Re-check AFTER winning the link: the slot may be empty because the
+      // previous holder finished and released between our is_done() probe
+      // above and the link. Done markers are published before release, so
+      // if that is how we got the slot, the marker is visible by now.
+      if (is_done(i)) {
+        release(i);
+        return ClaimResult::kDone;
+      }
+      return ClaimResult::kClaimed;
+    }
+
+    // Lease exists. Completed in the meantime?
+    if (is_done(i)) return ClaimResult::kDone;
+
+    const std::string raw = slurp(lease_path(i));
+    if (!raw.empty()) {
+      const std::optional<ParsedRow> row = parse_row(raw);
+      if (row.has_value() && clock_->now() - row->num("t") <= opts_.lease_ttl_s) {
+        return ClaimResult::kHeld;  // live heartbeat
+      }
+    } else if (!fs::exists(lease_path(i))) {
+      continue;  // holder released between our link and read; retry claim
+    }
+
+    // Stale (or unreadable, which only a stale crashed write could leave):
+    // steal by renaming it to a worker-private name. Exactly one concurrent
+    // stealer's rename succeeds; losers observe ENOENT and retry the claim.
+    const std::string stolen = opts_.dir + "/.steal." + opts_.worker;
+    if (::rename(lease_path(i).c_str(), stolen.c_str()) == 0) {
+      ::unlink(stolen.c_str());
+    }
+    // Loop: re-attempt the link-claim against the now-empty slot (another
+    // claimer may still beat us, which the second iteration reports as
+    // kHeld — correct either way).
+  }
+  return ClaimResult::kHeld;
+}
+
+void JobLedger::heartbeat(std::uint64_t i) {
+  exp::JsonObject lease;
+  lease.set("worker", opts_.worker);
+  lease.set("t", clock_->now());
+  const std::string tmp = write_temp(lease.str());
+  // rename over the lease refreshes the stamp atomically. If a stealer
+  // removed our lease a heartbeat recreates it; the double-execution that
+  // implies is resolved at merge time by the done marker's owner.
+  ::rename(tmp.c_str(), lease_path(i).c_str());
+}
+
+void JobLedger::release(std::uint64_t i) { ::unlink(lease_path(i).c_str()); }
+
+void JobLedger::mark_done(std::uint64_t i) {
+  const std::string tmp = write_temp(opts_.worker);
+  ::rename(tmp.c_str(), done_path(i).c_str());
+}
+
+bool JobLedger::is_done(std::uint64_t i) const { return fs::exists(done_path(i)); }
+
+std::string JobLedger::done_worker(std::uint64_t i) const { return slurp(done_path(i)); }
+
+void JobLedger::record_failure(std::uint64_t i, std::string_view error) {
+  exp::JsonObject o;
+  o.set("worker", opts_.worker);
+  o.set("error", error);
+  o.set("t", clock_->now());
+  const std::string tmp = write_temp(o.str());
+  ::rename(tmp.c_str(), fail_path(i, opts_.worker).c_str());
+}
+
+std::vector<JobFailure> JobLedger::failures(std::uint64_t i) const {
+  std::vector<JobFailure> out;
+  const std::string prefix = "job_" + std::to_string(i) + ".fail.";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(opts_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(prefix, 0) != 0) continue;
+    JobFailure f;
+    f.worker = name.substr(prefix.size());
+    if (const std::optional<ParsedRow> row = parse_row(slurp(entry.path().string()))) {
+      f.error = row->str("error");
+    }
+    out.push_back(std::move(f));
+  }
+  // directory_iterator order is filesystem-dependent; sort for determinism.
+  std::sort(out.begin(), out.end(),
+            [](const JobFailure& a, const JobFailure& b) { return a.worker < b.worker; });
+  return out;
+}
+
+bool JobLedger::quarantined(std::uint64_t i) const {
+  return failures(i).size() > static_cast<std::size_t>(opts_.max_retries);
+}
+
+std::uint64_t JobLedger::done_count(std::uint64_t n_jobs) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < n_jobs; ++i) n += is_done(i) ? 1 : 0;
+  return n;
+}
+
+std::uint64_t JobLedger::settled_count(std::uint64_t n_jobs) const {
+  std::uint64_t n = 0;
+  for (std::uint64_t i = 0; i < n_jobs; ++i) n += (is_done(i) || quarantined(i)) ? 1 : 0;
+  return n;
+}
+
+void JobLedger::write_manifest(const Manifest& m) const {
+  exp::JsonObject o;
+  o.set("experiment", m.experiment);
+  o.set("n_jobs", m.n_jobs);
+  o.set("base_seed", m.base_seed);
+  o.set("trials", m.trials);
+  o.set("full", m.full);
+  o.set("smoke", m.smoke);
+  const std::string tmp = write_temp(o.str());
+  if (::rename(tmp.c_str(), (opts_.dir + "/manifest.json").c_str()) != 0) {
+    throw std::runtime_error("ledger: cannot publish manifest: " +
+                             std::string(std::strerror(errno)));
+  }
+}
+
+std::optional<Manifest> JobLedger::read_manifest() const {
+  const std::optional<ParsedRow> row = parse_row(slurp(opts_.dir + "/manifest.json"));
+  if (!row.has_value()) return std::nullopt;
+  Manifest m;
+  m.experiment = row->str("experiment");
+  m.n_jobs = row->u64("n_jobs");
+  m.base_seed = row->u64("base_seed");
+  m.trials = static_cast<int>(row->num("trials"));
+  const JsonField* full = row->find("full");
+  const JsonField* smoke = row->find("smoke");
+  m.full = full != nullptr && full->kind == JsonField::Kind::kBool && full->b;
+  m.smoke = smoke != nullptr && smoke->kind == JsonField::Kind::kBool && smoke->b;
+  return m;
+}
+
+}  // namespace cebinae::dispatch

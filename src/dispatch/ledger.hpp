@@ -1,0 +1,132 @@
+// JobLedger: filesystem-coordinated claims/results protocol for the
+// distributed sweep dispatcher.
+//
+// The ledger is a directory shared by one coordinator and N workers — on one
+// host or on many hosts over a shared filesystem. Every operation is built
+// from the two POSIX primitives that are atomic on such filesystems,
+// link(2) and rename(2), so there are no in-memory locks to lose when a
+// worker dies:
+//
+//   manifest.json            experiment identity + job count (coordinator)
+//   job_<i>.lease            live claim: {"worker","t"} heartbeat stamp
+//   job_<i>.done             completion marker; content = owning worker id
+//   job_<i>.fail.<worker>    deterministic-failure record: {"worker","error"}
+//   <worker>.results.jsonl   fsync'd result-row shard (exp::result_row)
+//   <worker>.trace.jsonl     fsync'd trace-row shard (exp::trace_row)
+//   <worker>.stderr          the worker process's captured stderr
+//
+// Claim protocol: a claim is link(tmp, lease) — the hard link either
+// materializes the lease with its content already in place (no window where
+// a reader can observe an empty lease) or fails with EEXIST. A lease whose
+// stamp is older than lease_ttl_s is stale; stealing it is
+// rename(lease, private-name), which exactly one concurrent stealer wins.
+// Completion is rename(tmp, done) AFTER the result row's fsync returned, so
+// a done marker proves the row is on disk. Exactly-once output holds even
+// when a wedged worker resumes after its lease was stolen: both may execute
+// the job, but the merge step reads only the marker owner's shard.
+//
+// Failure model: a worker that catches a job exception records a fail
+// marker and releases the lease; the same worker never retries its own
+// failure (deterministic failures would loop), a DIFFERENT worker may. Once
+// failures from > max_retries distinct workers accumulate the job is
+// quarantined — skipped by every claim scan and reported to
+// <out>.failed.jsonl by the coordinator instead of being silently dropped.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dispatch/clock.hpp"
+
+namespace cebinae::dispatch {
+
+struct JobFailure {
+  std::string worker;
+  std::string error;
+};
+
+// What the coordinator wrote when it set the ledger up; workers verify the
+// job grid they rebuilt matches before claiming anything (guards against a
+// mixed-version binary racing an incompatible sweep).
+struct Manifest {
+  std::string experiment;
+  std::uint64_t n_jobs = 0;
+  std::uint64_t base_seed = 1;
+  int trials = 0;
+  bool full = false;
+  bool smoke = false;
+};
+
+class JobLedger {
+ public:
+  struct Options {
+    std::string dir;
+    std::string worker;            // this client's id, e.g. "w0"
+    double lease_ttl_s = 30.0;     // heartbeat staleness before stealing
+    int max_retries = 1;           // distinct-worker failures tolerated
+    const Clock* clock = nullptr;  // nullptr = SystemClock::instance()
+  };
+
+  explicit JobLedger(Options opts);
+
+  enum class ClaimResult {
+    kClaimed,      // we hold the lease; run the job
+    kHeld,         // live lease elsewhere
+    kDone,         // completion marker exists
+    kQuarantined,  // failed on > max_retries distinct workers
+    kOwnFailure,   // we already failed it; another worker must retry
+  };
+
+  // Atomically claim job i (stealing an expired lease if needed).
+  ClaimResult try_claim(std::uint64_t i);
+  // Refresh our lease stamp (call periodically while running the job).
+  void heartbeat(std::uint64_t i);
+  // Drop our lease (after mark_done / record_failure).
+  void release(std::uint64_t i);
+
+  // Publish completion. Call only after the job's result row is durably in
+  // our shard (JsonlWriter fsyncs per row, so write() returning suffices).
+  void mark_done(std::uint64_t i);
+  [[nodiscard]] bool is_done(std::uint64_t i) const;
+  // Worker id recorded in the done marker ("" when not done).
+  [[nodiscard]] std::string done_worker(std::uint64_t i) const;
+
+  void record_failure(std::uint64_t i, std::string_view error);
+  [[nodiscard]] std::vector<JobFailure> failures(std::uint64_t i) const;
+  [[nodiscard]] bool quarantined(std::uint64_t i) const;
+
+  // Jobs that are either done or quarantined; the sweep is finished when
+  // settled_count(n) == n.
+  [[nodiscard]] std::uint64_t settled_count(std::uint64_t n_jobs) const;
+  [[nodiscard]] std::uint64_t done_count(std::uint64_t n_jobs) const;
+
+  // Shard/stderr paths for a worker id (used by workers to open their own
+  // sinks and by the coordinator's merge step).
+  [[nodiscard]] std::string results_shard(std::string_view worker) const;
+  [[nodiscard]] std::string trace_shard(std::string_view worker) const;
+  [[nodiscard]] std::string stderr_path(std::string_view worker) const;
+
+  void write_manifest(const Manifest& m) const;
+  [[nodiscard]] std::optional<Manifest> read_manifest() const;
+
+  [[nodiscard]] const std::string& dir() const { return opts_.dir; }
+  [[nodiscard]] const std::string& worker() const { return opts_.worker; }
+  [[nodiscard]] int max_retries() const { return opts_.max_retries; }
+
+ private:
+  [[nodiscard]] std::string lease_path(std::uint64_t i) const;
+  [[nodiscard]] std::string done_path(std::uint64_t i) const;
+  [[nodiscard]] std::string fail_path(std::uint64_t i, std::string_view worker) const;
+  // Write content to a worker-private temp file (fsync'd); returns its path.
+  [[nodiscard]] std::string write_temp(std::string_view content) const;
+  // Atomic link-claim of the lease with a fresh stamp. True = we hold it.
+  [[nodiscard]] bool link_claim(std::uint64_t i);
+
+  Options opts_;
+  const Clock* clock_;
+};
+
+}  // namespace cebinae::dispatch

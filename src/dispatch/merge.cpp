@@ -1,0 +1,110 @@
+#include "dispatch/merge.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace cebinae::dispatch {
+
+namespace {
+
+// Keys result_row() always emits that are NOT per-job metrics. Anything
+// numeric outside this set is a RunRecord::extra metric (custom jobs) and
+// must be restored so the registry's aggregation sees it again.
+bool is_standard_key(std::string_view key) {
+  static constexpr std::string_view kStandard[] = {
+      "label",           "params",        "job_index",         "base_seed",
+      "seed",            "qdisc",         "n_flows",           "chain_links",
+      "bottleneck_bps",  "buffer_bytes",  "duration_s",        "goodput_Bps",
+      "total_goodput_Bps", "tail_goodput_Bps", "throughput_Bps", "jfi",
+      "wall_s",
+  };
+  for (std::string_view k : kStandard) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Shard load_shard(std::string_view worker, const std::string& results_path,
+                 const std::string& trace_path) {
+  Shard shard;
+  shard.worker = std::string(worker);
+
+  std::ifstream results(results_path);
+  std::string line;
+  while (std::getline(results, line)) {
+    if (!exp::is_complete_row(line)) continue;  // killed mid-write
+    const std::optional<ParsedRow> row = parse_row(line);
+    if (!row.has_value()) continue;
+    const std::uint64_t i = row->u64("job_index", ~0ull);
+    if (i == ~0ull) continue;
+    // First claim wins within a shard (a worker can only write the same job
+    // twice across distinct claims, and the earlier one is the one whose
+    // done marker it raced for).
+    shard.result_by_job.emplace(i, line);
+  }
+
+  std::ifstream trace(trace_path);
+  while (std::getline(trace, line)) {
+    if (!exp::is_complete_row(line)) continue;
+    const std::optional<ParsedRow> row = parse_row(line);
+    if (!row.has_value()) continue;
+    const std::uint64_t i = row->u64("job_index", ~0ull);
+    if (i == ~0ull) continue;
+    shard.trace_by_job[i].push_back(line);
+  }
+  return shard;
+}
+
+exp::RunRecord record_from_row(const ParsedRow& row, bool custom) {
+  exp::RunRecord rec;
+  rec.seed = row.u64("seed");
+  rec.wall_seconds = row.num("wall_s");
+  if (!custom) {
+    if (const std::vector<double>* v = row.arr("goodput_Bps")) rec.result.goodput_Bps = *v;
+    if (const std::vector<double>* v = row.arr("tail_goodput_Bps")) {
+      rec.result.tail_goodput_Bps = *v;
+    }
+    if (const std::vector<double>* v = row.arr("throughput_Bps")) {
+      rec.result.throughput_Bps = *v;
+    }
+    rec.result.total_goodput_Bps = row.num("total_goodput_Bps");
+    rec.result.jfi = row.num("jfi", 1.0);
+  }
+  // Extras, in row order (aggregation derives metric ordering from the
+  // first record's encounter order).
+  for (const auto& [key, value] : row.fields) {
+    if (value.kind != JsonField::Kind::kNumber && value.kind != JsonField::Kind::kNull) {
+      continue;
+    }
+    if (is_standard_key(key)) continue;
+    rec.extra.emplace_back(key, value.kind == JsonField::Kind::kNull ? std::nan("")
+                                                                     : value.num);
+  }
+  return rec;
+}
+
+obs::TraceRow trace_from_row(const ParsedRow& row) {
+  obs::TraceRow out(row.num("t_s"));
+  for (const auto& [key, value] : row.fields) {
+    if (key == "label" || key == "job_index" || key == "seed" || key == "t_s") continue;
+    switch (value.kind) {
+      case JsonField::Kind::kNumber:
+        out.set(key, value.num);
+        break;
+      case JsonField::Kind::kNull:
+        // json_number() serializes NaN as null; restore the NaN.
+        out.set(key, std::nan(""));
+        break;
+      case JsonField::Kind::kArray:
+        out.set(key, value.arr);
+        break;
+      default:
+        break;  // trace rows never carry strings/objects beyond the context
+    }
+  }
+  return out;
+}
+
+}  // namespace cebinae::dispatch

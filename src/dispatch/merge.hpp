@@ -1,0 +1,54 @@
+// Shard merge + record reconstruction for the dispatch coordinator.
+//
+// Workers append result/trace rows to per-worker JSONL shards in whatever
+// order they claim jobs. The coordinator merges those shards back into the
+// canonical `--out` / `--trace-out` streams IN GRID ORDER (ascending
+// job_index, shard lines copied byte-verbatim), so the files a distributed
+// run produces are line-for-line what a single-process `--jobs=1` run would
+// have written — modulo only each row's `wall_s` field, which is
+// wall-clock and differs even between two identical single-process runs.
+//
+// Reconstruction parses merged rows back into exp::RunRecord (and trace
+// rows into obs::TraceRow) so the experiment's registered reporter renders
+// from exactly the numbers the workers measured; %.17g round-tripping makes
+// that stdout byte-identical to the single-process report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dispatch/row_parse.hpp"
+#include "exp/experiment.hpp"
+#include "obs/trace.hpp"
+
+namespace cebinae::dispatch {
+
+// One worker shard loaded into memory: job_index -> verbatim line(s).
+// A job appears at most once per claim; a wedged worker whose lease was
+// stolen can leave the same job in TWO shards, which the merge resolves by
+// reading only the done-marker owner's shard.
+struct Shard {
+  std::string worker;
+  std::map<std::uint64_t, std::string> result_by_job;           // one row per job
+  std::map<std::uint64_t, std::vector<std::string>> trace_by_job;  // time-ordered
+};
+
+// Parse a shard pair from disk. Structurally incomplete lines (a worker
+// killed mid-write) are skipped — their job has no done marker, so the
+// re-executed copy is the one the merge will use.
+[[nodiscard]] Shard load_shard(std::string_view worker, const std::string& results_path,
+                               const std::string& trace_path);
+
+// Rebuild the RunRecord a single-process run would have produced for this
+// row. `custom` mirrors ExperimentJob::custom: custom rows carry their
+// metrics as free-form numeric fields, scenario rows carry the standard
+// ScenarioResult echo.
+[[nodiscard]] exp::RunRecord record_from_row(const ParsedRow& row, bool custom);
+
+// Rebuild one obs::TraceRow from a trace-sidecar row (skips the job-context
+// fields the runner prepended: label / job_index / seed).
+[[nodiscard]] obs::TraceRow trace_from_row(const ParsedRow& row);
+
+}  // namespace cebinae::dispatch

@@ -1,0 +1,172 @@
+#include "dispatch/worker.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dispatch/ledger.hpp"
+#include "exp/experiment.hpp"
+#include "exp/jsonl_writer.hpp"
+
+namespace cebinae::dispatch {
+
+namespace {
+
+// Refreshes the lease stamps of in-flight jobs every ttl/4 so a healthy
+// worker is never stolen from, no matter how long one scenario runs. A
+// SIGKILLed worker stops heartbeating and its leases expire — that silence
+// IS the crash detection.
+class HeartbeatThread {
+ public:
+  HeartbeatThread(JobLedger& ledger, double ttl_s)
+      : ledger_(ledger),
+        period_(std::chrono::duration<double>(std::max(0.05, ttl_s / 4.0))),
+        thread_([this] { loop(); }) {}
+
+  ~HeartbeatThread() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+  void add(std::uint64_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.push_back(i);
+  }
+
+  // Remove BEFORE JobLedger::release, or a concurrent heartbeat could
+  // resurrect the lease file after the release unlinked it.
+  void remove(std::uint64_t i) {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_.erase(std::remove(held_.begin(), held_.end(), i), held_.end());
+  }
+
+ private:
+  void loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, period_, [this] { return stop_; });
+      if (stop_) break;
+      const std::vector<std::uint64_t> held = held_;
+      lock.unlock();
+      for (std::uint64_t i : held) ledger_.heartbeat(i);
+      lock.lock();
+    }
+  }
+
+  JobLedger& ledger_;
+  std::chrono::duration<double> period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::vector<std::uint64_t> held_;
+  std::thread thread_;
+};
+
+}  // namespace
+
+int run_worker(const WorkerOptions& opts) {
+  const exp::ExperimentSpec* spec =
+      exp::ExperimentRegistry::instance().find(opts.experiment);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "[%s] unknown experiment '%s'\n", opts.worker_id.c_str(),
+                 opts.experiment.c_str());
+    return 2;
+  }
+  const std::vector<exp::ExperimentJob> jobs = spec->make_jobs(opts.run);
+  const std::uint64_t n = jobs.size();
+
+  JobLedger::Options lo;
+  lo.dir = opts.ledger_dir;
+  lo.worker = opts.worker_id;
+  lo.lease_ttl_s = opts.lease_ttl_s;
+  lo.max_retries = opts.max_retries;
+  JobLedger ledger(lo);
+
+  const std::optional<Manifest> manifest = ledger.read_manifest();
+  if (!manifest.has_value() || manifest->n_jobs != n ||
+      manifest->experiment != opts.experiment ||
+      manifest->base_seed != opts.run.base_seed) {
+    std::fprintf(stderr, "[%s] manifest mismatch (grid %llu jobs vs manifest %llu)\n",
+                 opts.worker_id.c_str(), static_cast<unsigned long long>(n),
+                 static_cast<unsigned long long>(manifest ? manifest->n_jobs : 0));
+    return 2;
+  }
+
+  exp::JsonlWriter results(ledger.results_shard(opts.worker_id),
+                           exp::JsonlWriter::Mode::kAppend);
+  exp::JsonlWriter traces(ledger.trace_shard(opts.worker_id),
+                          exp::JsonlWriter::Mode::kAppend);
+  HeartbeatThread heartbeats(ledger, opts.lease_ttl_s);
+
+  std::uint64_t executed = 0;
+  for (;;) {
+    bool progressed = false;
+    bool outstanding = false;  // live leases held by other workers
+    for (std::uint64_t k = 0; k < n; ++k) {
+      // Offset scan start per worker so N fresh workers fan out across the
+      // grid instead of all contending on job 0.
+      const std::uint64_t i = (k + static_cast<std::uint64_t>(opts.worker_index)) % n;
+      switch (ledger.try_claim(i)) {
+        case JobLedger::ClaimResult::kClaimed: {
+          heartbeats.add(i);
+          try {
+            const std::uint64_t seed = exp::derive_seed(opts.run.base_seed, i);
+            const exp::RunRecord rec = exp::run_single_job(jobs[i], seed);
+            results.write(exp::result_row(jobs[i], i, opts.run.base_seed, rec));
+            for (const obs::TraceRow& row : rec.trace) {
+              traces.write(exp::trace_row(jobs[i], i, seed, row));
+            }
+            // Rows are fsync'd (JsonlWriter per-row durability), so the
+            // marker can safely promise their existence.
+            ledger.mark_done(i);
+            ++executed;
+            std::fprintf(stderr, "[%s] job %llu done\n", opts.worker_id.c_str(),
+                         static_cast<unsigned long long>(i));
+          } catch (const std::exception& e) {
+            std::fprintf(stderr, "[%s] job %llu FAILED: %s\n", opts.worker_id.c_str(),
+                         static_cast<unsigned long long>(i), e.what());
+            ledger.record_failure(i, e.what());
+          } catch (...) {
+            std::fprintf(stderr, "[%s] job %llu FAILED: non-std exception\n",
+                         opts.worker_id.c_str(), static_cast<unsigned long long>(i));
+            ledger.record_failure(i, "non-std exception");
+          }
+          heartbeats.remove(i);
+          ledger.release(i);
+          progressed = true;
+          break;
+        }
+        case JobLedger::ClaimResult::kHeld:
+          outstanding = true;
+          break;
+        case JobLedger::ClaimResult::kDone:
+        case JobLedger::ClaimResult::kQuarantined:
+        case JobLedger::ClaimResult::kOwnFailure:
+          break;
+      }
+    }
+    if (progressed) continue;
+    if (!outstanding) break;  // nothing claimable and no leases: all settled
+                              // or blocked on our own failures — either way,
+                              // this worker cannot contribute further.
+    if (ledger.settled_count(n) == n) break;
+    // Other workers hold live leases; wait for them to finish or for their
+    // leases to expire so we can steal.
+    std::this_thread::sleep_for(std::chrono::duration<double>(opts.poll_s));
+  }
+
+  std::fprintf(stderr, "[%s] exiting after %llu job(s)\n", opts.worker_id.c_str(),
+               static_cast<unsigned long long>(executed));
+  return 0;
+}
+
+}  // namespace cebinae::dispatch

@@ -1,0 +1,38 @@
+// Dispatch worker: one process in a distributed sweep.
+//
+// A worker rebuilds the experiment's job grid from the same RunOptions the
+// coordinator used (make_jobs is deterministic), verifies the grid size
+// against the ledger manifest, and then loops: claim a job through the
+// JobLedger, execute it with exp::run_single_job under the job's GLOBAL
+// grid index seed (derive_seed(base_seed, i) — the bit-identity contract
+// with `--jobs=N`), append the result/trace rows to its own fsync'd shard,
+// and publish the done marker. A background heartbeat thread refreshes the
+// leases of in-flight jobs so a long scenario is not stolen mid-run.
+//
+// Exit conditions: the worker leaves when every job is settled (done or
+// quarantined) or when the only unsettled jobs are ones it already failed
+// itself (a different worker — possibly a respawn — must retry those).
+#pragma once
+
+#include <string>
+
+#include "exp/registry.hpp"
+
+namespace cebinae::dispatch {
+
+struct WorkerOptions {
+  std::string ledger_dir;
+  std::string worker_id;   // e.g. "w0"; unique per spawn (respawns get new ids)
+  int worker_index = 0;    // scan offset, spreads initial claims
+  std::string experiment;
+  exp::RunOptions run;     // full/smoke/trials/base_seed must match coordinator
+  double lease_ttl_s = 30.0;
+  int max_retries = 1;
+  // Poll period while waiting on other workers' leases (seconds, real time).
+  double poll_s = 0.05;
+};
+
+// Returns a process exit code (0 = clean, 2 = setup error).
+int run_worker(const WorkerOptions& opts);
+
+}  // namespace cebinae::dispatch

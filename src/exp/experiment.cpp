@@ -41,6 +41,32 @@ Aggregate aggregate(const std::vector<double>& samples) {
   return a;
 }
 
+RunRecord run_single_job(const ExperimentJob& job, std::uint64_t seed) {
+  ScenarioConfig cfg = job.config;
+  cfg.seed = seed;
+
+  RunRecord rec;
+  rec.seed = seed;
+  if (job.custom) {
+    const auto t0 = std::chrono::steady_clock::now();
+    rec.extra = job.custom(seed);
+    const auto t1 = std::chrono::steady_clock::now();
+    rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  } else {
+    const auto t0 = std::chrono::steady_clock::now();
+    Scenario scenario(cfg);
+    if (job.trace_period > Time::zero()) {
+      obs::Probe& probe = scenario.enable_trace(job.trace_period);
+      if (job.probe_setup) job.probe_setup(scenario, probe);
+    }
+    rec.result = scenario.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    rec.trace = scenario.trace().take_rows();
+  }
+  return rec;
+}
+
 std::vector<RunRecord> ExperimentRunner::run(const std::vector<ExperimentJob>& jobs) {
   const std::size_t total = jobs.size();
   std::vector<RunRecord> records(total);
@@ -54,30 +80,14 @@ std::vector<RunRecord> ExperimentRunner::run(const std::vector<ExperimentJob>& j
   std::size_t completed = 0;
 
   auto run_one = [&](std::size_t i) {
-    ScenarioConfig cfg = jobs[i].config;
-    cfg.seed = derive_seed(opts_.base_seed, i);
-
+    const std::uint64_t seed = derive_seed(opts_.base_seed, i);
     RunRecord rec;
-    rec.seed = cfg.seed;
     if (opts_.skip_completed.count(i) != 0) {
       // Resumed over: the row is already in the results file.
+      rec.seed = seed;
       rec.skipped = true;
-    } else if (jobs[i].custom) {
-      const auto t0 = std::chrono::steady_clock::now();
-      rec.extra = jobs[i].custom(cfg.seed);
-      const auto t1 = std::chrono::steady_clock::now();
-      rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     } else {
-      const auto t0 = std::chrono::steady_clock::now();
-      Scenario scenario(cfg);
-      if (jobs[i].trace_period > Time::zero()) {
-        obs::Probe& probe = scenario.enable_trace(jobs[i].trace_period);
-        if (jobs[i].probe_setup) jobs[i].probe_setup(scenario, probe);
-      }
-      rec.result = scenario.run();
-      const auto t1 = std::chrono::steady_clock::now();
-      rec.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
-      rec.trace = scenario.trace().take_rows();
+      rec = run_single_job(jobs[i], seed);
     }
     records[i] = std::move(rec);
 
@@ -162,14 +172,51 @@ JsonObject trace_row(const ExperimentJob& job, std::size_t job_index, std::uint6
   return o;
 }
 
+bool is_complete_row(std::string_view line) {
+  if (line.empty() || line.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : line) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        break;
+      case '}':
+      case ']':
+        --depth;
+        // A stray closer means the line is not one object; bail early.
+        if (depth < 0) return false;
+        break;
+      default:
+        break;
+    }
+  }
+  return depth == 0 && !in_string && line.back() == '}';
+}
+
 std::unordered_set<std::uint64_t> completed_job_indices(std::istream& in) {
   std::unordered_set<std::uint64_t> out;
   static constexpr std::string_view kKey = "\"job_index\":";
   std::string line;
   while (std::getline(in, line)) {
-    // A row interrupted mid-write (killed run) has no closing brace; treat
-    // it as not completed so the job reruns.
-    if (line.empty() || line.back() != '}') continue;
+    // A row interrupted mid-write (killed run / crashed worker) is
+    // structurally unbalanced; treat it as not completed so the job reruns.
+    if (!is_complete_row(line)) continue;
     const std::size_t pos = line.find(kKey);
     if (pos == std::string::npos) continue;
     out.insert(std::strtoull(line.c_str() + pos + kKey.size(), nullptr, 10));

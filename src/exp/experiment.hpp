@@ -106,6 +106,13 @@ class ExperimentRunner {
   Options opts_;
 };
 
+// Execute ONE job with an explicit pre-derived seed, outside any pool. This
+// is the unit of work the runner's threads execute, exposed so out-of-process
+// executors (src/dispatch workers) run jobs bit-identically to `--jobs=N`:
+// the caller passes derive_seed(base_seed, global_index) and gets back the
+// same RunRecord a single-process run would have produced at that index.
+[[nodiscard]] RunRecord run_single_job(const ExperimentJob& job, std::uint64_t seed);
+
 // The standard JSONL row for one run: config echo + metrics + wall clock.
 // Schema (stable keys, documented in DESIGN.md):
 //   label, params{...}, qdisc, seed, base_seed, job_index, n_flows,
@@ -121,9 +128,18 @@ class ExperimentRunner {
 [[nodiscard]] JsonObject trace_row(const ExperimentJob& job, std::size_t job_index,
                                    std::uint64_t seed, const obs::TraceRow& row);
 
+// True when `line` is one structurally complete JSONL row: starts with '{'
+// and every brace/bracket opened outside a string literal is closed by the
+// end of the line. A row truncated by a crashed writer fails this even when
+// the cut happens to land just after a nested '}' (e.g. inside "params"),
+// which a naive trailing-brace check would wrongly accept.
+[[nodiscard]] bool is_complete_row(std::string_view line);
+
 // Scan an existing results JSONL stream and collect the job_index of every
-// complete row (a line that parses to the end brace). Used by resumable
-// sweeps to skip already-finished jobs after a killed run.
+// complete row (per is_complete_row). Used by resumable sweeps to skip
+// already-finished jobs after a killed run; a truncated final line from a
+// crashed or killed worker must never poison resume/ledger state, so it is
+// simply treated as "job not completed" and the job reruns.
 [[nodiscard]] std::unordered_set<std::uint64_t> completed_job_indices(std::istream& in);
 
 // File convenience: empty set when the file does not exist or is empty.

@@ -1,10 +1,13 @@
 #include "exp/jsonl_writer.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <iostream>
-#include <memory>
 #include <stdexcept>
 
 namespace cebinae::exp {
@@ -110,15 +113,18 @@ JsonlWriter::JsonlWriter(std::string path, Mode mode) : path_(std::move(path)) {
     out_ = &std::cout;
     return;
   }
-  auto file = std::make_unique<std::ofstream>(
-      path_, std::ios::out | (mode == Mode::kAppend ? std::ios::app : std::ios::trunc));
-  if (!*file) throw std::runtime_error("JsonlWriter: cannot open " + path_);
-  owns_ = std::move(file);
-  out_ = owns_.get();
+  const int flags =
+      O_WRONLY | O_CREAT | (mode == Mode::kAppend ? O_APPEND : O_TRUNC) | O_CLOEXEC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("JsonlWriter: cannot open " + path_ + ": " +
+                             std::strerror(errno));
+  }
 }
 
 JsonlWriter::~JsonlWriter() {
   if (out_) out_->flush();
+  if (fd_ >= 0) ::close(fd_);
 }
 
 std::size_t JsonlWriter::rows_written() const {
@@ -126,13 +132,45 @@ std::size_t JsonlWriter::rows_written() const {
   return rows_;
 }
 
+void JsonlWriter::emit(std::string_view line) {
+  if (out_ != nullptr) {
+    *out_ << line << '\n';
+    out_->flush();
+  } else {
+    // One write(2) per row, then fsync: a crash truncates at most the final
+    // line, and every acknowledged row survives the process. This is the
+    // durability the dispatch ledger's done-markers rely on (a marker is
+    // only written after the row's fsync returns).
+    std::string buf;
+    buf.reserve(line.size() + 1);
+    buf.append(line);
+    buf.push_back('\n');
+    std::size_t off = 0;
+    while (off < buf.size()) {
+      const ssize_t n = ::write(fd_, buf.data() + off, buf.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        throw std::runtime_error("JsonlWriter: write to " + path_ + " failed: " +
+                                 std::strerror(errno));
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    ::fsync(fd_);
+  }
+  ++rows_;
+}
+
 void JsonlWriter::write(const JsonObject& row) {
-  if (!out_) return;
+  if (!enabled()) return;
   const std::string line = row.str();
   std::lock_guard<std::mutex> lock(mu_);
-  *out_ << line << '\n';
-  out_->flush();
-  ++rows_;
+  emit(line);
+}
+
+void JsonlWriter::write_line(std::string_view line) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  emit(line);
 }
 
 }  // namespace cebinae::exp

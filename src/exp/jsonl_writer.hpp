@@ -8,10 +8,16 @@
 //
 // JsonlWriter serializes whole rows under a mutex, so worker threads can
 // write results as they complete without interleaving partial lines.
+//
+// Durability contract: file-backed writers write each row with a single
+// write(2) and fsync after it, so a crashed or SIGKILLed process leaves at
+// most one truncated FINAL line and every earlier row is on disk. Resume and
+// dispatch-ledger parsing (exp::is_complete_row) tolerate exactly that
+// shape, which is what lets resume files double as the coordination
+// substrate for the src/dispatch job ledger.
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <mutex>
 #include <ostream>
 #include <string>
@@ -62,17 +68,22 @@ class JsonlWriter {
   JsonlWriter(const JsonlWriter&) = delete;
   JsonlWriter& operator=(const JsonlWriter&) = delete;
 
-  [[nodiscard]] bool enabled() const { return out_ != nullptr; }
+  [[nodiscard]] bool enabled() const { return out_ != nullptr || fd_ >= 0; }
   [[nodiscard]] const std::string& path() const { return path_; }
   [[nodiscard]] std::size_t rows_written() const;
 
   void write(const JsonObject& row);
+  // Emit one pre-serialized row verbatim (no trailing newline in `line`).
+  // Used by the dispatch merge step to copy shard rows byte-exactly.
+  void write_line(std::string_view line);
 
  private:
+  void emit(std::string_view line);  // caller holds mu_
+
   std::string path_;
   mutable std::mutex mu_;
-  std::ostream* out_ = nullptr;          // borrowed (stdout) or owns_
-  std::unique_ptr<std::ostream> owns_;
+  std::ostream* out_ = nullptr;  // stdout ("-"); files go through fd_
+  int fd_ = -1;                  // owned POSIX fd for file paths
   std::size_t rows_ = 0;
 };
 

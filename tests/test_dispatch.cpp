@@ -1,0 +1,262 @@
+// Dispatch data-plane tests: the JSONL row parser, RunRecord/TraceRow
+// reconstruction (the %.17g round-trip the byte-identical report depends
+// on), shard loading with torn lines, and the resume-parser regression for
+// hand-truncated files (a crashed worker must never poison resume state).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dispatch/merge.hpp"
+#include "dispatch/row_parse.hpp"
+#include "exp/experiment.hpp"
+#include "exp/jsonl_writer.hpp"
+
+namespace fs = std::filesystem;
+using cebinae::dispatch::JsonField;
+using cebinae::dispatch::ParsedRow;
+using cebinae::dispatch::Shard;
+using cebinae::dispatch::load_shard;
+using cebinae::dispatch::parse_row;
+using cebinae::dispatch::record_from_row;
+using cebinae::dispatch::trace_from_row;
+
+namespace {
+
+std::string temp_file(const std::string& name) {
+  return (fs::temp_directory_path() / ("cebinae_dispatch_test_" + name)).string();
+}
+
+// ---- parser ---------------------------------------------------------------
+
+TEST(RowParse, ParsesTheShapesJsonObjectEmits) {
+  cebinae::exp::JsonObject params;
+  params.set("qdisc", "Cebinae");
+  params.set("trial", 2);
+  cebinae::exp::JsonObject o;
+  o.set("label", "qdisc=Cebinae trial=2");
+  o.set("params", params);
+  o.set("jfi", 0.98765432109876543);
+  o.set("count", std::uint64_t{18446744073709551615ull});  // max u64
+  o.set("flag", true);
+  o.set("bad", std::nan(""));  // serialized as null
+  o.set("goodput_Bps", std::vector<double>{1.5, 2.5e9, 0.0});
+
+  const auto row = parse_row(o.str());
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->str("label"), "qdisc=Cebinae trial=2");
+  EXPECT_DOUBLE_EQ(row->num("jfi"), 0.98765432109876543);
+  EXPECT_EQ(row->u64("count"), 18446744073709551615ull);
+  const JsonField* flag = row->find("flag");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->kind, JsonField::Kind::kBool);
+  EXPECT_TRUE(flag->b);
+  const JsonField* bad = row->find("bad");
+  ASSERT_NE(bad, nullptr);
+  EXPECT_EQ(bad->kind, JsonField::Kind::kNull);
+  const std::vector<double>* arr = row->arr("goodput_Bps");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(*arr, (std::vector<double>{1.5, 2.5e9, 0.0}));
+  // Nested object captured verbatim.
+  const JsonField* p = row->find("params");
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->kind, JsonField::Kind::kObject);
+  EXPECT_EQ(p->str, params.str());
+}
+
+TEST(RowParse, ExactDoubleRoundTrip) {
+  // The byte-identity contract: %.17g out, strtod in, %.17g out again must
+  // reproduce the identical bytes.
+  for (double v : {1.0 / 3.0, 0.1 + 0.2, 6.62607015e-34, 123456789.123456789}) {
+    cebinae::exp::JsonObject o;
+    o.set("v", v);
+    const auto row = parse_row(o.str());
+    ASSERT_TRUE(row.has_value());
+    cebinae::exp::JsonObject again;
+    again.set("v", row->num("v"));
+    EXPECT_EQ(o.str(), again.str());
+  }
+}
+
+TEST(RowParse, RejectsMalformedAndTruncated) {
+  EXPECT_FALSE(parse_row("").has_value());
+  EXPECT_FALSE(parse_row("not json").has_value());
+  EXPECT_FALSE(parse_row(R"({"a":1)").has_value());
+  EXPECT_FALSE(parse_row(R"({"a":[1,2)").has_value());
+  EXPECT_FALSE(parse_row(R"({"a":"unterminated)").has_value());
+  EXPECT_FALSE(parse_row(R"({"a":1}garbage)").has_value());
+  EXPECT_TRUE(parse_row("{}").has_value());
+}
+
+TEST(RowParse, EscapedStringsRoundTrip) {
+  cebinae::exp::JsonObject o;
+  o.set("msg", "line1\nline2\t\"quoted\" back\\slash");
+  const auto row = parse_row(o.str());
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->str("msg"), "line1\nline2\t\"quoted\" back\\slash");
+}
+
+// ---- is_complete_row / truncated resume regression ------------------------
+
+TEST(CompleteRow, NaiveTrailingBraceIsNotEnough) {
+  using cebinae::exp::is_complete_row;
+  EXPECT_TRUE(is_complete_row(R"({"a":1,"params":{"x":2},"b":3})"));
+  // Truncation landing just after the NESTED closing brace: ends in '}' but
+  // the row is torn — the old trailing-brace check accepted this.
+  EXPECT_FALSE(is_complete_row(R"({"a":1,"params":{"x":2})"));
+  EXPECT_FALSE(is_complete_row(R"({"a":1,"b":)"));
+  EXPECT_FALSE(is_complete_row(R"("a":1})"));
+  // Braces inside strings must not count.
+  EXPECT_TRUE(is_complete_row(R"({"label":"weird{]label","n":1})"));
+  EXPECT_FALSE(is_complete_row(R"({"label":"open{string)"));
+  EXPECT_FALSE(is_complete_row(""));
+}
+
+TEST(CompleteRow, HandTruncatedResumeFileSkipsOnlyTornRow) {
+  // Regression for the satellite: a resume file whose final line was cut
+  // mid-write (crashed worker) must yield every complete row and drop the
+  // torn one — including the nasty case where the cut lands after a nested
+  // '}' so the line LOOKS brace-terminated.
+  std::stringstream file;
+  file << R"({"label":"a","job_index":0,"jfi":0.5})" << "\n"
+       << R"({"label":"b","job_index":1,"jfi":0.6})" << "\n"
+       << R"({"label":"c","job_index":2,"params":{"trial":0})";  // torn after '}'
+  const auto done = cebinae::exp::completed_job_indices(file);
+  EXPECT_EQ(done.size(), 2u);
+  EXPECT_TRUE(done.count(0));
+  EXPECT_TRUE(done.count(1));
+  EXPECT_FALSE(done.count(2)) << "torn row must re-run, not resume over";
+}
+
+// ---- record / trace reconstruction ----------------------------------------
+
+TEST(Reconstruct, ScenarioRecordRoundTrips) {
+  cebinae::exp::ExperimentJob job;
+  job.label = "qdisc=Cebinae trial=0";
+  cebinae::exp::RunRecord rec;
+  rec.seed = 0xABCDEF0123456789ull;
+  rec.wall_seconds = 1.25;
+  rec.result.goodput_Bps = {1234.5, 6789.25};
+  rec.result.tail_goodput_Bps = {1200.0, 6700.0};
+  rec.result.throughput_Bps = {9999.75};
+  rec.result.total_goodput_Bps = 8023.75;
+  rec.result.jfi = 0.97531;
+
+  const cebinae::exp::JsonObject row =
+      cebinae::exp::result_row(job, /*job_index=*/7, /*base_seed=*/42, rec);
+  const auto parsed = parse_row(row.str());
+  ASSERT_TRUE(parsed.has_value());
+  const cebinae::exp::RunRecord back = record_from_row(*parsed, /*custom=*/false);
+
+  EXPECT_EQ(back.seed, rec.seed);
+  EXPECT_EQ(back.result.goodput_Bps, rec.result.goodput_Bps);
+  EXPECT_EQ(back.result.tail_goodput_Bps, rec.result.tail_goodput_Bps);
+  EXPECT_EQ(back.result.throughput_Bps, rec.result.throughput_Bps);
+  EXPECT_EQ(back.result.total_goodput_Bps, rec.result.total_goodput_Bps);
+  EXPECT_EQ(back.result.jfi, rec.result.jfi);
+  EXPECT_TRUE(back.extra.empty()) << "scenario rows must not invent extras";
+}
+
+TEST(Reconstruct, CustomRecordRestoresExtrasInOrder) {
+  cebinae::exp::ExperimentJob job;
+  job.label = "model trial=0";
+  job.custom = [](std::uint64_t) {
+    return std::vector<std::pair<std::string, double>>{};
+  };
+  cebinae::exp::RunRecord rec;
+  rec.seed = 3;
+  rec.wall_seconds = 0.5;
+  rec.extra = {{"occupancy", 0.125}, {"rotations", 17.0}, {"drop_pct", 2.5}};
+
+  const cebinae::exp::JsonObject row = cebinae::exp::result_row(job, 0, 1, rec);
+  const auto parsed = parse_row(row.str());
+  ASSERT_TRUE(parsed.has_value());
+  const cebinae::exp::RunRecord back = record_from_row(*parsed, /*custom=*/true);
+  ASSERT_EQ(back.extra.size(), 3u);
+  EXPECT_EQ(back.extra[0], (std::pair<std::string, double>{"occupancy", 0.125}));
+  EXPECT_EQ(back.extra[1], (std::pair<std::string, double>{"rotations", 17.0}));
+  EXPECT_EQ(back.extra[2], (std::pair<std::string, double>{"drop_pct", 2.5}));
+}
+
+TEST(Reconstruct, TraceRowRoundTripsScalarsArraysAndNaN) {
+  cebinae::obs::TraceRow row(12.5);
+  row.set("jfi", 0.875);
+  row.set("stalled", std::nan(""));  // serialized as null
+  row.set("tput_Bps", std::vector<double>{100.5, 200.25});
+
+  cebinae::exp::ExperimentJob job;
+  job.label = "qdisc=FIFO";
+  const cebinae::exp::JsonObject json = cebinae::exp::trace_row(job, 4, 99, row);
+  const auto parsed = parse_row(json.str());
+  ASSERT_TRUE(parsed.has_value());
+  const cebinae::obs::TraceRow back = trace_from_row(*parsed);
+
+  EXPECT_EQ(back.t_s(), 12.5);
+  EXPECT_EQ(back.scalar("jfi"), 0.875);
+  EXPECT_TRUE(std::isnan(back.scalar("stalled")));
+  const std::vector<double>* arr = back.array("tput_Bps");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(*arr, (std::vector<double>{100.5, 200.25}));
+  // Job-context fields must NOT leak into the reconstructed row.
+  EXPECT_TRUE(std::isnan(back.scalar("job_index")));
+  EXPECT_TRUE(std::isnan(back.scalar("seed")));
+  // Serializing the reconstruction again reproduces the identical bytes —
+  // the merged --trace-out contract.
+  const cebinae::exp::JsonObject again = cebinae::exp::trace_row(job, 4, 99, back);
+  EXPECT_EQ(json.str(), again.str());
+}
+
+// ---- shard loading --------------------------------------------------------
+
+TEST(ShardLoad, SkipsTornLinesAndKeepsFirstClaim) {
+  const std::string results = temp_file("shard.results.jsonl");
+  const std::string traces = temp_file("shard.trace.jsonl");
+  {
+    std::ofstream out(results, std::ios::trunc);
+    out << R"({"label":"a","job_index":3,"jfi":0.5})" << "\n";
+    out << R"({"label":"a","job_index":3,"jfi":0.9})" << "\n";  // later dup claim
+    out << R"({"label":"b","job_index":4,"jfi":0.7)";           // torn final line
+  }
+  {
+    std::ofstream out(traces, std::ios::trunc);
+    out << R"({"label":"a","job_index":3,"seed":1,"t_s":1,"jfi":0.5})" << "\n";
+    out << R"({"label":"a","job_index":3,"seed":1,"t_s":2,"jfi":0.6})" << "\n";
+  }
+  const Shard shard = load_shard("w0", results, traces);
+  EXPECT_EQ(shard.result_by_job.size(), 1u);
+  ASSERT_TRUE(shard.result_by_job.count(3));
+  EXPECT_NE(shard.result_by_job.at(3).find("0.5"), std::string::npos)
+      << "first claim's row wins within a shard";
+  ASSERT_TRUE(shard.trace_by_job.count(3));
+  EXPECT_EQ(shard.trace_by_job.at(3).size(), 2u) << "trace rows stay time-ordered";
+  EXPECT_FALSE(shard.result_by_job.count(4)) << "torn line treated as never written";
+  std::remove(results.c_str());
+  std::remove(traces.c_str());
+}
+
+// ---- JsonlWriter dispatch-facing surface ----------------------------------
+
+TEST(JsonlWriterDispatch, WriteLineCopiesVerbatimAndCounts) {
+  const std::string path = temp_file("writer.jsonl");
+  {
+    cebinae::exp::JsonlWriter w(path, cebinae::exp::JsonlWriter::Mode::kTruncate);
+    cebinae::exp::JsonObject o;
+    o.set("a", 1);
+    w.write(o);
+    w.write_line(R"({"copied":"verbatim","jfi":0.123456789012345678})");
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string l1, l2;
+  ASSERT_TRUE(std::getline(in, l1));
+  ASSERT_TRUE(std::getline(in, l2));
+  EXPECT_EQ(l1, R"({"a":1})");
+  EXPECT_EQ(l2, R"({"copied":"verbatim","jfi":0.123456789012345678})");
+  std::remove(path.c_str());
+}
+
+}  // namespace
