@@ -6,12 +6,14 @@
 #include "core/flow_cache.hpp"
 #include "core/lbf.hpp"
 #include "metrics/jfi.hpp"
+#include "net/packet_pool.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "queueing/fifo_queue.hpp"
 #include "queueing/fq_codel.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
+#include "tcp/interval_set.hpp"
 
 namespace {
 
@@ -30,6 +32,71 @@ void BM_SchedulerScheduleRun(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_SchedulerScheduleRun);
+
+void BM_SchedulerCancelRearm(benchmark::State& state) {
+  // The RTO-timer maintenance pattern: every ACK cancels the armed timer
+  // and schedules a fresh one. Exercises the O(1) generation-checked
+  // cancel plus slot recycling; most cancelled entries die lazily at the
+  // heap root.
+  Scheduler sched;
+  EventId timer;
+  std::int64_t now = 0;
+  int fired = 0;
+  for (auto _ : state) {
+    sched.cancel(timer);
+    timer = sched.schedule(Milliseconds(200), [&fired] { ++fired; });
+    now += 100'000;
+    sched.run_until(Time(now));
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerCancelRearm);
+
+void BM_SchedulerPropagationEvent(benchmark::State& state) {
+  // The shape of the hottest event in the simulator: a pooled packet plus
+  // a pointer, fired once. Must stay inside the InlineFunction budget —
+  // zero mallocs per iteration.
+  PacketPool pool;
+  Scheduler sched;
+  std::uint64_t sink = 0;
+  std::int64_t now = 0;
+  Packet proto;
+  proto.size_bytes = kMtuBytes;
+  auto probe = [p = PooledPacket{}, s = &sink]() mutable { *s += (*p).size_bytes; };
+  static_assert(Scheduler::Callback::stores_inline<decltype(probe)>());
+  (void)probe;
+  for (auto _ : state) {
+    now += 1'000;
+    sched.schedule_at(Time(now), [p = PooledPacket(&pool, proto), s = &sink]() mutable {
+      *s += (*p).size_bytes;
+    });
+    sched.run_until(Time(now));
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SchedulerPropagationEvent);
+
+void BM_IntervalSetLossPattern(benchmark::State& state) {
+  // The receiver-side reassembly pattern under periodic loss: grow a small
+  // set of holes, then drain when the retransmission lands.
+  for (auto _ : state) {
+    IntervalSet ooo;
+    std::uint64_t cursor = 0;
+    for (std::uint64_t seg = 1; seg <= 64; ++seg) {
+      if (seg % 8 == 0) continue;  // dropped segment -> hole
+      ooo.add(seg * kMssBytes, (seg + 1) * kMssBytes);
+    }
+    for (std::uint64_t seg = 8; seg <= 64; seg += 8) {
+      cursor = seg * kMssBytes + kMssBytes;  // retransmission arrives
+      ooo.drain_into(cursor);
+    }
+    benchmark::DoNotOptimize(cursor);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_IntervalSetLossPattern);
 
 void BM_FlowCacheAdd(benchmark::State& state) {
   const auto flows = static_cast<std::uint32_t>(state.range(0));

@@ -193,6 +193,8 @@ int run_experiment(const ExperimentSpec& spec, const RunOptions& opts) {
   std::size_t skipped = 0;
   for (const RunRecord& r : records) skipped += r.skipped ? 1 : 0;
 
+  const std::vector<ResultRow> rows = aggregate_rows(jobs, records, spec.metrics);
+
   if (opts.perf) {
     const std::string path =
         opts.perf_out.empty() ? "BENCH_" + spec.name + ".json" : opts.perf_out;
@@ -205,6 +207,17 @@ int run_experiment(const ExperimentSpec& spec, const RunOptions& opts) {
     o.set("wall_s", wall_s);
     o.set("scenarios_per_sec",
           wall_s > 0.0 ? static_cast<double>(records.size() - skipped) / wall_s : 0.0);
+    // Flattened per-row metric means ("<label>.<metric>": mean). This is
+    // the surface scripts/perf_gate.py compares against bench/baselines/:
+    // rate metrics (events_per_sec, ...) regress-gate releases, and the
+    // deterministic counts document what each rate measured.
+    JsonObject metrics;
+    for (const ResultRow& row : rows) {
+      for (const auto& [name, agg] : row.metrics) {
+        metrics.set(row.label + "." + name, agg.mean);
+      }
+    }
+    if (!metrics.empty()) o.set("metrics", metrics);
     std::ofstream f(path, std::ios::out | std::ios::trunc);
     if (!f) {
       std::fprintf(stderr, "error: cannot write perf summary %s\n", path.c_str());
@@ -223,7 +236,7 @@ int run_experiment(const ExperimentSpec& spec, const RunOptions& opts) {
   }
 
   if (spec.report) {
-    spec.report(opts, aggregate_rows(jobs, records, spec.metrics));
+    spec.report(opts, rows);
   }
   return 0;
 }

@@ -8,12 +8,14 @@
 namespace cebinae {
 
 Device::Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_delay,
-               std::unique_ptr<QueueDisc> qdisc, obs::MetricsRegistry* metrics)
+               std::unique_ptr<QueueDisc> qdisc, obs::MetricsRegistry* metrics,
+               PacketPool* pool)
     : sched_(sched),
       owner_(owner),
       rate_bps_(rate_bps),
       prop_delay_(prop_delay),
-      qdisc_(std::move(qdisc)) {
+      qdisc_(std::move(qdisc)),
+      pool_(pool) {
   assert(rate_bps_ > 0);
   assert(qdisc_ != nullptr);
   if (metrics != nullptr) {
@@ -51,9 +53,13 @@ void Device::try_transmit() {
     try_transmit();
   });
   assert(peer_ != nullptr && "device transmitted before the link was connected");
-  sched_.schedule(tx_time + prop_delay_, [peer = peer_, p = std::move(*pkt)]() mutable {
-    peer->owner().receive(std::move(p));
-  });
+  // The in-flight frame lives in the pool; the propagation event captures
+  // only {Device*, pool handle}, which fits the scheduler's inline budget —
+  // zero heap allocations per hop in steady state.
+  sched_.schedule(tx_time + prop_delay_,
+                  [peer = peer_, p = PooledPacket(pool_, std::move(*pkt))]() mutable {
+                    peer->owner().receive(std::move(*p));
+                  });
 }
 
 }  // namespace cebinae

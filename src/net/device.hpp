@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "obs/metrics.hpp"
 #include "queueing/queue_disc.hpp"
 #include "sim/scheduler.hpp"
@@ -21,8 +22,12 @@ class Device {
  public:
   // `metrics` (optional) aggregates transmit accounting across every device
   // of a network into the "net.tx_bytes"/"net.tx_packets" counters.
+  // `pool` (optional) recycles in-flight packet storage; without one the
+  // propagation event heap-allocates per packet (Network always passes its
+  // per-scenario pool).
   Device(Scheduler& sched, Node& owner, std::uint64_t rate_bps, Time prop_delay,
-         std::unique_ptr<QueueDisc> qdisc, obs::MetricsRegistry* metrics = nullptr);
+         std::unique_ptr<QueueDisc> qdisc, obs::MetricsRegistry* metrics = nullptr,
+         PacketPool* pool = nullptr);
 
   Device(const Device&) = delete;
   Device& operator=(const Device&) = delete;
@@ -57,6 +62,7 @@ class Device {
   std::uint64_t rate_bps_;
   Time prop_delay_;
   std::unique_ptr<QueueDisc> qdisc_;
+  PacketPool* pool_ = nullptr;  // not owned; may be null
   Device* peer_ = nullptr;
   bool busy_ = false;
   std::uint64_t tx_bytes_ = 0;

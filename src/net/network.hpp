@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "net/node.hpp"
+#include "net/packet_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/random.hpp"
 #include "sim/scheduler.hpp"
@@ -23,6 +24,9 @@ class Network {
   // Networks, so parallel scenarios stay isolated.
   [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
   [[nodiscard]] const obs::MetricsRegistry& metrics() const { return metrics_; }
+  // Per-scenario arena recycling in-flight packet storage (see
+  // packet_pool.hpp); every device of this network transmits through it.
+  [[nodiscard]] PacketPool& packet_pool() { return pool_; }
 
   Node& add_node();
   [[nodiscard]] Node& node(NodeId id) { return *nodes_.at(id); }
@@ -51,6 +55,9 @@ class Network {
     Device* ba;
   };
 
+  // Destruction order: pending scheduler events may hold PooledPacket
+  // handles, so the pool is declared first (destroyed last).
+  PacketPool pool_;
   Scheduler sched_;
   RandomStream rng_;
   obs::MetricsRegistry metrics_;

@@ -12,27 +12,41 @@ Device& Node::add_device(std::unique_ptr<Device> dev) {
   return *devices_.back();
 }
 
-Device* Node::route_to(NodeId dst) const {
-  auto it = routes_.find(dst);
-  return it == routes_.end() ? nullptr : it->second;
+void Node::set_route(NodeId dst, Device& egress) {
+  if (dst >= routes_.size()) routes_.resize(dst + 1, nullptr);
+  routes_[dst] = &egress;
+}
+
+PacketSink* Node::sink_for(std::uint16_t port) const {
+  for (const auto& [p, sink] : sinks_) {
+    if (p == port) return sink;
+  }
+  return nullptr;
 }
 
 void Node::bind(std::uint16_t port, PacketSink& sink) {
-  assert(sinks_.find(port) == sinks_.end() && "port already bound");
-  sinks_[port] = &sink;
+  assert(sink_for(port) == nullptr && "port already bound");
+  sinks_.emplace_back(port, &sink);
 }
 
-void Node::unbind(std::uint16_t port) { sinks_.erase(port); }
+void Node::unbind(std::uint16_t port) {
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->first == port) {
+      sinks_.erase(it);
+      return;
+    }
+  }
+}
 
 void Node::receive(Packet pkt) {
   if (pkt.flow.dst == id_) {
-    auto it = sinks_.find(pkt.flow.dst_port);
-    if (it == sinks_.end()) {
+    PacketSink* sink = sink_for(pkt.flow.dst_port);
+    if (sink == nullptr) {
       CEBINAE_WARN("node", "node " << id_ << " has no sink on port " << pkt.flow.dst_port);
       return;
     }
     ++delivered_packets_;
-    it->second->deliver(pkt);
+    sink->deliver(pkt);
     return;
   }
   send(std::move(pkt));

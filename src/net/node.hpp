@@ -7,7 +7,7 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "net/device.hpp"
@@ -29,8 +29,13 @@ class Node {
   [[nodiscard]] Device& device(std::size_t i) { return *devices_.at(i); }
 
   // Static routing: packets destined to `dst` leave through `egress`.
-  void set_route(NodeId dst, Device& egress) { routes_[dst] = &egress; }
-  [[nodiscard]] Device* route_to(NodeId dst) const;
+  void set_route(NodeId dst, Device& egress);
+  // Hot path: NodeIds are dense (assigned sequentially by Network), so the
+  // table is a flat vector indexed by destination — one bounds check and one
+  // load per forwarded packet instead of a hash lookup.
+  [[nodiscard]] Device* route_to(NodeId dst) const {
+    return dst < routes_.size() ? routes_[dst] : nullptr;
+  }
 
   // Register/unregister the local sink for a destination port.
   void bind(std::uint16_t port, PacketSink& sink);
@@ -47,10 +52,14 @@ class Node {
   [[nodiscard]] std::uint64_t routing_drops() const { return routing_drops_; }
 
  private:
+  [[nodiscard]] PacketSink* sink_for(std::uint16_t port) const;
+
   NodeId id_;
   std::vector<std::unique_ptr<Device>> devices_;
-  std::unordered_map<NodeId, Device*> routes_;
-  std::unordered_map<std::uint16_t, PacketSink*> sinks_;
+  std::vector<Device*> routes_;  // indexed by destination NodeId
+  // A node binds a handful of ports; a scanned flat vector beats a hash map
+  // on the delivery path and keeps iteration deterministic.
+  std::vector<std::pair<std::uint16_t, PacketSink*>> sinks_;
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t routing_drops_ = 0;
 };

@@ -1,0 +1,107 @@
+// Per-scenario packet arena.
+//
+// In-flight frames (a packet serialized onto a wire, waiting out its
+// propagation delay) used to be captured by value inside the propagation
+// event's std::function — ~140 bytes of capture, i.e. one heap
+// allocation/free per packet hop. The pool recycles Packet storage through
+// a free list instead: steady-state runs reach the link's bandwidth-delay
+// high-water mark once and never allocate per packet again.
+//
+// Ownership is RAII through PooledPacket. Release scrubs the packet back to
+// default-constructed state, so a recycled slot can never leak stale
+// ECN/timestamp/SACK fields into the next packet that reuses it (the ASan
+// CI leg plus test_packet_pool.cpp hold this invariant).
+//
+// A Network owns one pool per scenario; the pool must therefore be declared
+// before (destroyed after) the scheduler, whose pending events may hold
+// PooledPacket handles.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace cebinae {
+
+class PacketPool {
+ public:
+  PacketPool() = default;
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  [[nodiscard]] Packet* acquire() {
+    if (free_.empty()) {
+      // std::deque gives stable addresses, so handles stay valid as the
+      // pool grows.
+      return &storage_.emplace_back();
+    }
+    Packet* p = free_.back();
+    free_.pop_back();
+    return p;
+  }
+
+  void release(Packet* p) {
+    *p = Packet{};  // scrub: no stale fields survive into the next acquire
+    free_.push_back(p);
+  }
+
+  // Capacity diagnostics: total slots ever created / currently idle.
+  [[nodiscard]] std::size_t high_water() const { return storage_.size(); }
+  [[nodiscard]] std::size_t idle() const { return free_.size(); }
+
+ private:
+  std::deque<Packet> storage_;
+  std::vector<Packet*> free_;
+};
+
+// Owning handle to a pooled packet. Move-only; returns the packet to its
+// pool on destruction. A null pool (devices constructed outside a Network,
+// e.g. in unit tests) degrades to plain heap ownership.
+class PooledPacket {
+ public:
+  PooledPacket() = default;
+  PooledPacket(PacketPool* pool, Packet pkt)
+      : pool_(pool), pkt_(pool != nullptr ? pool->acquire() : new Packet) {
+    *pkt_ = std::move(pkt);
+  }
+
+  PooledPacket(PooledPacket&& other) noexcept
+      : pool_(other.pool_), pkt_(std::exchange(other.pkt_, nullptr)) {}
+
+  PooledPacket& operator=(PooledPacket&& other) noexcept {
+    if (this != &other) {
+      reset();
+      pool_ = other.pool_;
+      pkt_ = std::exchange(other.pkt_, nullptr);
+    }
+    return *this;
+  }
+
+  PooledPacket(const PooledPacket&) = delete;
+  PooledPacket& operator=(const PooledPacket&) = delete;
+
+  ~PooledPacket() { reset(); }
+
+  [[nodiscard]] Packet& operator*() { return *pkt_; }
+  [[nodiscard]] Packet* operator->() { return pkt_; }
+  [[nodiscard]] explicit operator bool() const { return pkt_ != nullptr; }
+
+ private:
+  void reset() {
+    if (pkt_ == nullptr) return;
+    if (pool_ != nullptr) {
+      pool_->release(pkt_);
+    } else {
+      delete pkt_;
+    }
+    pkt_ = nullptr;
+  }
+
+  PacketPool* pool_ = nullptr;
+  Packet* pkt_ = nullptr;
+};
+
+}  // namespace cebinae

@@ -1,0 +1,124 @@
+// Small-buffer-optimized move-only callable, the scheduler's event type.
+//
+// std::function heap-allocates any capture larger than ~2 pointers, which
+// put one malloc/free pair on every scheduled event whose lambda carries
+// real state (the packet-propagation event being the hot offender). An
+// InlineFunction stores captures up to `Capacity` bytes inside the object
+// itself; only captures that are larger (or throwing-move) fall back to the
+// heap, and no hot-path event in the simulator does.
+//
+// Differences from std::function, on purpose:
+//   - move-only (events are scheduled once and fired once; copyability is
+//     what forces std::function to heap-allocate conservatively),
+//   - no allocator/target-type machinery: one vtable pointer, three ops.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace cebinae {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, InlineFunction>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::remove_cvref_t<F>;
+    static_assert(std::is_invocable_r_v<void, Fn&>);
+    if constexpr (fits_inline<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &inline_vtable<Fn>;
+    } else {
+      // Heap fallback: the buffer holds a single owning pointer.
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &heap_vtable<Fn>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, other.buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(buf_, other.buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  // True when callables of type F avoid the heap fallback (used by tests to
+  // pin down the scheduler's allocation budget).
+  template <typename F>
+  static constexpr bool stores_inline() {
+    return fits_inline<std::remove_cvref_t<F>>;
+  }
+
+ private:
+  template <typename Fn>
+  static constexpr bool fits_inline = sizeof(Fn) <= Capacity &&
+                                      alignof(Fn) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<Fn>;
+
+  struct VTable {
+    void (*invoke)(void* buf);
+    // Move-construct into `dst` from `src`, then destroy `src`'s object.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void* buf) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr VTable inline_vtable = {
+      [](void* buf) { (*std::launder(reinterpret_cast<Fn*>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* buf) noexcept { std::launder(reinterpret_cast<Fn*>(buf))->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr VTable heap_vtable = {
+      [](void* buf) { (**std::launder(reinterpret_cast<Fn**>(buf)))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*std::launder(reinterpret_cast<Fn**>(src)));
+      },
+      [](void* buf) noexcept { delete *std::launder(reinterpret_cast<Fn**>(buf)); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace cebinae

@@ -37,13 +37,27 @@ class Logger {
 
 }  // namespace cebinae
 
-#define CEBINAE_LOG(lvl, component, expr)                        \
-  do {                                                           \
-    if (::cebinae::Logger::enabled(lvl)) {                       \
-      std::ostringstream cebinae_log_oss_;                       \
-      cebinae_log_oss_ << expr;                                  \
-      ::cebinae::Logger::log(lvl, component, cebinae_log_oss_.str()); \
-    }                                                            \
+// Compile-time log floor: levels below CEBINAE_MIN_LOG_LEVEL are discarded by
+// `if constexpr`, so the stream expression is never materialized and the call
+// site compiles to nothing. The default (0 = kDebug) keeps every level; build
+// with -DCEBINAE_MIN_LOG_LEVEL=2 (see the CMake cache variable of the same
+// name) to strip debug/info sites from hot-path builds entirely. Levels at or
+// above the floor still pay exactly one relaxed atomic load and a predicted
+// branch when disabled at runtime — [[unlikely]] keeps the formatting code off
+// the fall-through path.
+#ifndef CEBINAE_MIN_LOG_LEVEL
+#define CEBINAE_MIN_LOG_LEVEL 0
+#endif
+
+#define CEBINAE_LOG(lvl, component, expr)                                  \
+  do {                                                                     \
+    if constexpr (static_cast<int>(lvl) >= CEBINAE_MIN_LOG_LEVEL) {        \
+      if (::cebinae::Logger::enabled(lvl)) [[unlikely]] {                  \
+        std::ostringstream cebinae_log_oss_;                               \
+        cebinae_log_oss_ << expr;                                          \
+        ::cebinae::Logger::log(lvl, component, cebinae_log_oss_.str());    \
+      }                                                                    \
+    }                                                                      \
   } while (0)
 
 #define CEBINAE_DEBUG(component, expr) CEBINAE_LOG(::cebinae::LogLevel::kDebug, component, expr)

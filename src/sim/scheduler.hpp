@@ -2,36 +2,56 @@
 //
 // Events at the same timestamp fire in insertion order (FIFO tie-break via a
 // monotonically increasing sequence number), which makes every simulation
-// exactly reproducible for a given seed and schedule.
+// exactly reproducible for a given seed and schedule. The `--jobs=N` merge
+// determinism of the experiment harness depends on this promise.
+//
+// Hot-path design (see DESIGN.md §12):
+//   - Callbacks are InlineFunction<kEventInlineBytes>: captures up to 48
+//     bytes live inside the event slot, so scheduling costs no allocation
+//     once the slot/heap vectors reach their high-water marks.
+//   - The ready queue is a 4-ary heap of 24-byte POD entries (when, seq,
+//     slot); sift operations never move callbacks, only entries.
+//   - Callbacks live in a slot table recycled through a free list. An
+//     EventId names (slot, generation), so cancel() is one bounds check,
+//     one generation compare, and a flag write — O(1), no tombstone set,
+//     and ids that already fired (or were double-cancelled) are harmless
+//     no-ops even after the slot has been reused.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "sim/time.hpp"
 
 namespace cebinae {
 
-// Handle used to cancel a pending event. Cancellation is lazy: the event
-// record stays in the heap but is skipped when popped.
+// Inline capture budget for scheduled callbacks. Large enough for every
+// simulator event (the biggest, packet propagation, captures a device
+// pointer plus a pooled-packet handle); a larger capture falls back to one
+// heap allocation rather than failing, so this is a perf knob, not a limit.
+inline constexpr std::size_t kEventInlineBytes = 48;
+
+// Handle used to cancel a pending event. Cancellation is O(1): the handle
+// names a slot and the generation the slot had when the event was
+// scheduled, so stale handles (event already fired, slot reused) are
+// detected exactly and ignored.
 class EventId {
  public:
   EventId() = default;
 
-  [[nodiscard]] bool valid() const { return seq_ != 0; }
+  [[nodiscard]] bool valid() const { return slot_plus1_ != 0; }
 
  private:
   friend class Scheduler;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventId(std::uint32_t slot, std::uint32_t gen) : slot_plus1_(slot + 1), gen_(gen) {}
+  std::uint32_t slot_plus1_ = 0;  // slot index + 1; 0 = default/invalid
+  std::uint32_t gen_ = 0;
 };
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = InlineFunction<kEventInlineBytes>;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -47,8 +67,8 @@ class Scheduler {
   // Schedule at an absolute simulation time (>= now()).
   EventId schedule_at(Time when, Callback cb);
 
-  // Cancel a pending event; a default-constructed or already-fired id is a
-  // harmless no-op.
+  // Cancel a pending event; a default-constructed, already-fired, or
+  // already-cancelled id is a harmless no-op.
   void cancel(EventId id);
 
   // Run until the event queue is empty.
@@ -57,29 +77,40 @@ class Scheduler {
   // Run events with timestamp <= `until`; afterwards now() == until.
   void run_until(Time until);
 
-  [[nodiscard]] std::size_t pending_events() const { return heap_.size() - cancelled_.size(); }
+  [[nodiscard]] std::size_t pending_events() const { return live_; }
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Record {
+  // 4-ary heap entry ordered by (when, seq); callbacks stay in slots_ so
+  // sifting moves 24 bytes, not captured state.
+  struct Entry {
     Time when;
     std::uint64_t seq;
-    Callback cb;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Record& a, const Record& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
   };
 
+  [[nodiscard]] static bool earlier(const Entry& a, const Entry& b) {
+    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void push_entry(Entry e);
+  void pop_root();
   bool pop_one(Time limit);
 
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Record, std::vector<Record>, Later> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;  // scheduled, not yet fired or cancelled
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace cebinae

@@ -1,0 +1,79 @@
+// Flat sorted interval set for the TCP receiver's out-of-order reassembly
+// buffer.
+//
+// Under loss, every arriving out-of-order segment used to insert a node
+// into a std::map — one allocation per packet on exactly the code path the
+// paper's loss-heavy experiments hammer. Blocks here live in one sorted
+// vector (disjoint, merged on insert): the number of live blocks is bounded
+// by the number of holes in the window (small), shifts touch a handful of
+// 16-byte entries, and the vector's capacity is reused for the rest of the
+// connection's lifetime.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace cebinae {
+
+class IntervalSet {
+ public:
+  struct Block {
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;  // exclusive
+  };
+
+  [[nodiscard]] bool empty() const { return blocks_.empty(); }
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+  [[nodiscard]] const Block& operator[](std::size_t i) const { return blocks_[i]; }
+
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t total = 0;
+    for (const Block& b : blocks_) total += b.end - b.begin;
+    return total;
+  }
+
+  // Index of the first block with begin >= seq (== size() when none).
+  [[nodiscard]] std::size_t lower_bound(std::uint64_t seq) const {
+    const auto it = std::lower_bound(
+        blocks_.begin(), blocks_.end(), seq,
+        [](const Block& b, std::uint64_t s) { return b.begin < s; });
+    return static_cast<std::size_t>(it - blocks_.begin());
+  }
+
+  // Insert [begin, end), merging with any overlapping or touching
+  // neighbors; returns the resulting merged block.
+  Block add(std::uint64_t begin, std::uint64_t end) {
+    std::size_t i = lower_bound(begin);
+    if (i > 0 && blocks_[i - 1].end >= begin) {
+      --i;
+      blocks_[i].end = std::max(blocks_[i].end, end);
+    } else {
+      blocks_.insert(blocks_.begin() + static_cast<std::ptrdiff_t>(i), Block{begin, end});
+    }
+    std::size_t j = i + 1;
+    while (j < blocks_.size() && blocks_[j].begin <= blocks_[i].end) {
+      blocks_[i].end = std::max(blocks_[i].end, blocks_[j].end);
+      ++j;
+    }
+    blocks_.erase(blocks_.begin() + static_cast<std::ptrdiff_t>(i) + 1,
+                  blocks_.begin() + static_cast<std::ptrdiff_t>(j));
+    return blocks_[i];
+  }
+
+  // Consume every block now contiguous with `cursor` (begin <= cursor),
+  // folding their ends into it — the receiver's in-order drain.
+  void drain_into(std::uint64_t& cursor) {
+    std::size_t i = 0;
+    while (i < blocks_.size() && blocks_[i].begin <= cursor) {
+      cursor = std::max(cursor, blocks_[i].end);
+      ++i;
+    }
+    blocks_.erase(blocks_.begin(), blocks_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+ private:
+  std::vector<Block> blocks_;  // sorted by begin, pairwise disjoint
+};
+
+}  // namespace cebinae

@@ -20,11 +20,7 @@ TcpReceiver::TcpReceiver(Scheduler& sched, Node& local, FlowId data_flow)
 
 TcpReceiver::~TcpReceiver() { local_.unbind(data_flow_.dst_port); }
 
-std::uint64_t TcpReceiver::ooo_bytes() const {
-  std::uint64_t total = 0;
-  for (const auto& [seq, end] : ooo_) total += end - seq;
-  return total;
-}
+std::uint64_t TcpReceiver::ooo_bytes() const { return ooo_.total_bytes(); }
 
 void TcpReceiver::deliver(const Packet& pkt) {
   if (pkt.kind != Packet::Kind::kTcpData) return;
@@ -40,36 +36,15 @@ void TcpReceiver::deliver(const Packet& pkt) {
   }
 
   if (seq <= rcv_nxt_) {
-    // In-order (possibly partially duplicate) data.
+    // In-order (possibly partially duplicate) data; drain any out-of-order
+    // intervals now contiguous.
     rcv_nxt_ = end;
-    // Drain any out-of-order intervals now contiguous.
-    auto it = ooo_.begin();
-    while (it != ooo_.end() && it->first <= rcv_nxt_) {
-      rcv_nxt_ = std::max(rcv_nxt_, it->second);
-      it = ooo_.erase(it);
-    }
+    ooo_.drain_into(rcv_nxt_);
   } else {
-    // Out of order: insert [seq, end) into the interval set, merging overlaps.
-    auto [it, inserted] = ooo_.emplace(seq, end);
-    if (!inserted) {
-      it->second = std::max(it->second, end);
-    }
-    // Merge backward with a predecessor that overlaps us.
-    if (it != ooo_.begin()) {
-      auto prev = std::prev(it);
-      if (prev->second >= it->first) {
-        prev->second = std::max(prev->second, it->second);
-        ooo_.erase(it);
-        it = prev;
-      }
-    }
-    // Merge forward.
-    auto next = std::next(it);
-    while (next != ooo_.end() && next->first <= it->second) {
-      it->second = std::max(it->second, next->second);
-      next = ooo_.erase(next);
-    }
-    latest_block_ = Packet::SackBlock{it->first, it->second};
+    // Out of order: insert [seq, end) into the interval set, merging
+    // overlaps; the merged block becomes the SACK option's first entry.
+    const IntervalSet::Block merged = ooo_.add(seq, end);
+    latest_block_ = Packet::SackBlock{merged.begin, merged.end};
   }
 
   const std::uint64_t newly = rcv_nxt_ - delivered_bytes_;
@@ -96,15 +71,15 @@ void TcpReceiver::send_ack(const Packet& data_pkt) {
         Packet::SackBlock{std::max(latest_block_.begin, rcv_nxt_), latest_block_.end};
   }
   if (!ooo_.empty()) {
-    auto it = ooo_.lower_bound(sack_rotation_seq_);
+    std::size_t idx = ooo_.lower_bound(sack_rotation_seq_);
     for (std::size_t i = 0; i < ooo_.size() && ack.sack_count < ack.sack.size(); ++i) {
-      if (it == ooo_.end()) it = ooo_.begin();
-      if (it->first != latest_block_.begin) {
-        ack.sack[ack.sack_count++] = Packet::SackBlock{it->first, it->second};
+      if (idx == ooo_.size()) idx = 0;
+      if (ooo_[idx].begin != latest_block_.begin) {
+        ack.sack[ack.sack_count++] = Packet::SackBlock{ooo_[idx].begin, ooo_[idx].end};
       }
-      ++it;
+      ++idx;
     }
-    sack_rotation_seq_ = it == ooo_.end() ? 0 : it->first;
+    sack_rotation_seq_ = idx == ooo_.size() ? 0 : ooo_[idx].begin;
   }
   ece_pending_ = false;
   ++acks_sent_;

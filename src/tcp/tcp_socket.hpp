@@ -12,7 +12,6 @@
 #include <deque>
 #include <functional>
 #include <limits>
-#include <map>
 #include <memory>
 
 #include "net/node.hpp"
@@ -20,6 +19,7 @@
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 #include "tcp/congestion_control.hpp"
+#include "tcp/interval_set.hpp"
 #include "tcp/rtt_estimator.hpp"
 
 namespace cebinae {
@@ -49,7 +49,7 @@ class TcpReceiver final : public PacketSink {
   Node& local_;
   FlowId data_flow_;  // the forward (data) direction; ACKs use its reverse
   std::uint64_t rcv_nxt_ = 0;
-  std::map<std::uint64_t, std::uint64_t> ooo_;  // seq -> end, disjoint intervals
+  IntervalSet ooo_;  // received-but-not-yet-in-order byte ranges
   // Interval holding the most recently arrived data; advertised first in the
   // SACK option (RFC 2018) so the sender's scoreboard converges even when
   // there are far more than 3 holes.

@@ -1,0 +1,99 @@
+#include "tcp/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cebinae {
+namespace {
+
+TEST(IntervalSet, StartsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.total_bytes(), 0u);
+}
+
+TEST(IntervalSet, AddDisjointKeepsSorted) {
+  IntervalSet s;
+  s.add(30, 40);
+  s.add(10, 20);
+  s.add(50, 60);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].begin, 10u);
+  EXPECT_EQ(s[1].begin, 30u);
+  EXPECT_EQ(s[2].begin, 50u);
+  EXPECT_EQ(s.total_bytes(), 30u);
+}
+
+TEST(IntervalSet, AddMergesBackward) {
+  IntervalSet s;
+  s.add(10, 20);
+  const IntervalSet::Block b = s.add(20, 30);  // touching: merge
+  EXPECT_EQ(b.begin, 10u);
+  EXPECT_EQ(b.end, 30u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(IntervalSet, AddMergesForwardAcrossMultipleBlocks) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  s.add(50, 60);
+  const IntervalSet::Block b = s.add(15, 55);  // spans all three
+  EXPECT_EQ(b.begin, 10u);
+  EXPECT_EQ(b.end, 60u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.total_bytes(), 50u);
+}
+
+TEST(IntervalSet, AddContainedIsAbsorbed) {
+  IntervalSet s;
+  s.add(10, 50);
+  const IntervalSet::Block b = s.add(20, 30);
+  EXPECT_EQ(b.begin, 10u);
+  EXPECT_EQ(b.end, 50u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(IntervalSet, LowerBound) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(30, 40);
+  EXPECT_EQ(s.lower_bound(0), 0u);
+  EXPECT_EQ(s.lower_bound(10), 0u);
+  EXPECT_EQ(s.lower_bound(11), 1u);
+  EXPECT_EQ(s.lower_bound(30), 1u);
+  EXPECT_EQ(s.lower_bound(31), 2u);
+}
+
+TEST(IntervalSet, DrainIntoConsumesContiguousPrefix) {
+  IntervalSet s;
+  s.add(10, 20);
+  s.add(20, 30);  // merged with previous
+  s.add(40, 50);
+  std::uint64_t cursor = 10;
+  s.drain_into(cursor);
+  EXPECT_EQ(cursor, 30u);  // stopped at the hole [30, 40)
+  ASSERT_EQ(s.size(), 1u);
+  EXPECT_EQ(s[0].begin, 40u);
+}
+
+TEST(IntervalSet, DrainIntoFoldsOverlappingOldData) {
+  IntervalSet s;
+  s.add(5, 15);
+  std::uint64_t cursor = 20;  // already past the whole block
+  s.drain_into(cursor);
+  EXPECT_EQ(cursor, 20u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, DrainIntoNoopWhenGapRemains) {
+  IntervalSet s;
+  s.add(100, 200);
+  std::uint64_t cursor = 50;
+  s.drain_into(cursor);
+  EXPECT_EQ(cursor, 50u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -1,0 +1,140 @@
+#include "net/packet_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace cebinae {
+namespace {
+
+// A packet with every mutable field dirtied, to prove scrub-on-release.
+Packet dirty_packet() {
+  Packet p;
+  p.flow = FlowId{1, 2, 300, 400};
+  p.kind = Packet::Kind::kTcpAck;
+  p.size_bytes = 1500;
+  p.payload_bytes = 1448;
+  p.seq = 123456;
+  p.ack = 654321;
+  p.sack[0] = Packet::SackBlock{10, 20};
+  p.sack_count = 1;
+  p.ts_sent = Seconds(7);
+  p.ts_echo = Seconds(6);
+  p.ect = true;
+  p.ce = true;
+  p.ece = true;
+  return p;
+}
+
+void expect_pristine(const Packet& p) {
+  const Packet fresh;
+  EXPECT_EQ(p.flow, fresh.flow);
+  EXPECT_EQ(p.kind, fresh.kind);
+  EXPECT_EQ(p.size_bytes, 0u);
+  EXPECT_EQ(p.payload_bytes, 0u);
+  EXPECT_EQ(p.seq, 0u);
+  EXPECT_EQ(p.ack, 0u);
+  EXPECT_EQ(p.sack_count, 0u);
+  EXPECT_EQ(p.sack[0].begin, 0u);
+  EXPECT_EQ(p.sack[0].end, 0u);
+  EXPECT_EQ(p.ts_sent, Time::zero());
+  EXPECT_EQ(p.ts_echo, Time::zero());
+  EXPECT_FALSE(p.ect);
+  EXPECT_FALSE(p.ce);
+  EXPECT_FALSE(p.ece);
+}
+
+TEST(PacketPool, ReleaseScrubsAllFields) {
+  PacketPool pool;
+  Packet* p = pool.acquire();
+  *p = dirty_packet();
+  pool.release(p);
+  // The same slot comes back on the next acquire — and must be pristine, or
+  // stale ECN/timestamp state would bleed into an unrelated future packet.
+  Packet* q = pool.acquire();
+  EXPECT_EQ(q, p);
+  expect_pristine(*q);
+  pool.release(q);
+}
+
+TEST(PacketPool, ReusesSlotsInsteadOfGrowing) {
+  PacketPool pool;
+  Packet* p = pool.acquire();
+  pool.release(p);
+  for (int i = 0; i < 100; ++i) {
+    Packet* q = pool.acquire();
+    EXPECT_EQ(q, p);
+    pool.release(q);
+  }
+  EXPECT_EQ(pool.high_water(), 1u);
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(PacketPool, HighWaterTracksPeakConcurrency) {
+  PacketPool pool;
+  std::vector<Packet*> held;
+  for (int i = 0; i < 8; ++i) held.push_back(pool.acquire());
+  EXPECT_EQ(pool.high_water(), 8u);
+  EXPECT_EQ(pool.idle(), 0u);
+  for (Packet* p : held) pool.release(p);
+  EXPECT_EQ(pool.high_water(), 8u);
+  EXPECT_EQ(pool.idle(), 8u);
+}
+
+TEST(PacketPool, AddressesStableWhileGrowing) {
+  PacketPool pool;
+  Packet* first = pool.acquire();
+  first->seq = 77;
+  for (int i = 0; i < 1000; ++i) (void)pool.acquire();  // force deque growth
+  EXPECT_EQ(first->seq, 77u);  // handle survived the growth
+}
+
+TEST(PooledPacket, ReturnsToPoolScrubbed) {
+  PacketPool pool;
+  {
+    PooledPacket h(&pool, dirty_packet());
+    EXPECT_TRUE(static_cast<bool>(h));
+    EXPECT_EQ(h->seq, 123456u);
+  }
+  EXPECT_EQ(pool.idle(), 1u);
+  expect_pristine(*pool.acquire());
+}
+
+TEST(PooledPacket, MoveTransfersOwnership) {
+  PacketPool pool;
+  PooledPacket a(&pool, dirty_packet());
+  PooledPacket b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  EXPECT_EQ((*b).ack, 654321u);
+  EXPECT_EQ(pool.idle(), 0u);  // still checked out exactly once
+}
+
+TEST(PooledPacket, NullPoolFallsBackToHeap) {
+  // Devices built outside a Network run with no pool; the handle degrades to
+  // plain heap ownership (ASan would flag a leak or double-free here).
+  PooledPacket h(nullptr, dirty_packet());
+  ASSERT_TRUE(static_cast<bool>(h));
+  EXPECT_EQ(h->seq, 123456u);
+  PooledPacket moved = std::move(h);
+  EXPECT_EQ(moved->seq, 123456u);
+}
+
+TEST(PooledPacket, MoveAssignReleasesPreviousPacket) {
+  PacketPool pool;
+  PooledPacket a(&pool, dirty_packet());
+  Packet clean;
+  clean.seq = 1;
+  PooledPacket b(&pool, clean);
+  EXPECT_EQ(pool.high_water(), 2u);
+  a = std::move(b);  // a's original packet goes back to the pool
+  EXPECT_EQ(pool.idle(), 1u);
+  EXPECT_EQ(a->seq, 1u);
+}
+
+}  // namespace
+}  // namespace cebinae

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <vector>
 
 namespace cebinae {
@@ -126,6 +128,84 @@ TEST(Scheduler, PendingEventsReflectsCancellations) {
   EXPECT_EQ(s.pending_events(), 2u);
   s.cancel(a);
   EXPECT_EQ(s.pending_events(), 1u);
+}
+
+TEST(Scheduler, TiesStayFifoAcrossInterleavedCancels) {
+  // Regression for the d-ary-heap rework: cancelling events between
+  // same-timestamp insertions must not disturb the FIFO order of the
+  // survivors — the (when, seq) tie-break has to hold through slot reuse.
+  Scheduler s;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 16; ++i) {
+    ids.push_back(s.schedule(Milliseconds(5), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 1; i < 16; i += 2) s.cancel(ids[static_cast<std::size_t>(i)]);
+  // Freed slots get reused here; the new events still fire after the
+  // surviving originals.
+  for (int i = 16; i < 20; ++i) {
+    s.schedule(Milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  std::vector<int> expected;
+  for (int i = 0; i < 16; i += 2) expected.push_back(i);
+  for (int i = 16; i < 20; ++i) expected.push_back(i);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  bool a_fired = false;
+  EventId a = s.schedule(Milliseconds(1), [&] { a_fired = true; });
+  s.run();
+  ASSERT_TRUE(a_fired);
+  // `a`'s slot is free now; a later event will reuse it. Cancelling the
+  // stale id must not kill the new occupant (generation check).
+  bool b_fired = false;
+  s.schedule(Milliseconds(1), [&] { b_fired = true; });
+  s.cancel(a);
+  s.cancel(a);  // double-cancel of a stale id: also a no-op
+  s.run();
+  EXPECT_TRUE(b_fired);
+  EXPECT_EQ(s.executed_events(), 2u);
+}
+
+TEST(Scheduler, CancelOwnIdFromInsideCallbackIsNoop) {
+  Scheduler s;
+  EventId self;
+  int fires = 0;
+  bool later_fired = false;
+  self = s.schedule(Milliseconds(1), [&] {
+    ++fires;
+    s.cancel(self);  // already firing: must not corrupt the slot table
+  });
+  s.schedule(Milliseconds(2), [&] { later_fired = true; });
+  s.run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(later_fired);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(Scheduler, CancelPendingEventFromInsideCallback) {
+  Scheduler s;
+  bool victim_fired = false;
+  EventId victim = s.schedule(Milliseconds(2), [&] { victim_fired = true; });
+  s.schedule(Milliseconds(1), [&] { s.cancel(victim); });
+  s.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Scheduler, LargeCaptureStillWorks) {
+  // Captures past the inline budget take the heap fallback; behavior (not
+  // allocation count) must be identical.
+  Scheduler s;
+  std::array<std::uint64_t, 16> big{};
+  big[15] = 42;
+  std::uint64_t seen = 0;
+  s.schedule(Milliseconds(1), [big, &seen] { seen = big[15]; });
+  s.run();
+  EXPECT_EQ(seen, 42u);
 }
 
 TEST(Scheduler, ScheduleAtAbsoluteTime) {
